@@ -1,0 +1,149 @@
+// Mechanism ablations (DESIGN.md §6): rerun the .nl w2020 dataset with one
+// mechanism disabled at a time and show which measured signature each one
+// carries. If a paper signature survives its mechanism's removal, the
+// reproduction would be cosmetic — these checks prove it is not.
+//
+//   baseline        — everything on
+//   q-min off       — the Fig. 2/3 NS surge must vanish
+//   RRL off         — inert for well-behaved resolvers (their TCP comes
+//                     from EDNS truncation); a synthetic flood shows what
+//                     RRL actually does
+//   diurnal off     — hourly volume flattens (capture realism)
+#include <cstdio>
+
+#include "common.h"
+#include "entrada/cdf.h"
+#include "server/auth_server.h"
+#include "zone/dnssec.h"
+#include "zone/zone_builder.h"
+
+using namespace clouddns;
+
+namespace {
+
+struct Metrics {
+  double google_ns = 0;
+  double amazon_tcp = 0;
+  double facebook_tcp = 0;
+  double hourly_peak_trough = 0;
+  std::uint64_t captured = 0;
+};
+
+Metrics Measure(const cloud::ScenarioResult& result) {
+  Metrics metrics;
+  metrics.captured = result.records.size();
+  metrics.google_ns =
+      analysis::ComputeRrTypeMix(result, cloud::Provider::kGoogle)["NS"];
+  metrics.amazon_tcp =
+      analysis::ComputeTransportMix(result, cloud::Provider::kAmazon).tcp;
+  metrics.facebook_tcp =
+      analysis::ComputeTransportMix(result, cloud::Provider::kFacebook).tcp;
+
+  // Hourly volume ratio over the week.
+  std::map<std::uint64_t, std::uint64_t> hourly;
+  for (const auto& record : result.records) {
+    ++hourly[record.time_us / (sim::kMicrosPerDay / 24)];
+  }
+  std::uint64_t peak = 0, trough = ~0ull;
+  for (const auto& [hour, count] : hourly) {
+    peak = std::max(peak, count);
+    trough = std::min(trough, count);
+  }
+  metrics.hourly_peak_trough =
+      trough == 0 ? 0 : static_cast<double>(peak) / static_cast<double>(trough);
+  return metrics;
+}
+
+}  // namespace
+
+int main() {
+  analysis::PrintBanner("Ablations",
+                        "which mechanism carries which paper signature");
+
+  cloud::ScenarioConfig base = bench::StandardConfig(cloud::Vantage::kNl, 2020);
+  base.client_queries = std::min<std::uint64_t>(base.client_queries, 250'000);
+
+  struct Variant {
+    const char* name;
+    cloud::ScenarioConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"baseline", base});
+  {
+    cloud::ScenarioConfig config = base;
+    config.qmin_override_off = true;
+    variants.push_back({"q-min off", config});
+  }
+  {
+    cloud::ScenarioConfig config = base;
+    config.rrl_override_off = true;
+    variants.push_back({"RRL off", config});
+  }
+  {
+    cloud::ScenarioConfig config = base;
+    config.diurnal_amplitude = 0.0;
+    variants.push_back({"diurnal off", config});
+  }
+
+  analysis::TextTable table({"variant", "captured", "Google NS%",
+                             "Amazon TCP%", "Facebook TCP%", "peak/trough"});
+  std::vector<Metrics> measured;
+  for (const auto& variant : variants) {
+    auto result = analysis::LoadOrRun(variant.config);
+    Metrics metrics = Measure(result);
+    measured.push_back(metrics);
+    table.AddRow({variant.name, analysis::Count(metrics.captured),
+                  analysis::Percent(metrics.google_ns),
+                  analysis::Percent(metrics.amazon_tcp),
+                  analysis::Percent(metrics.facebook_tcp),
+                  analysis::Fixed(metrics.hourly_peak_trough, 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  bool qmin_carries_ns = measured[1].google_ns < measured[0].google_ns / 4;
+  bool rrl_inert = measured[2].amazon_tcp == measured[0].amazon_tcp &&
+                   measured[2].facebook_tcp == measured[0].facebook_tcp;
+  bool diurnal_flattens =
+      measured[3].hourly_peak_trough < measured[0].hourly_peak_trough;
+
+  // What RRL actually defends against: a single source flooding one name.
+  // (Vixie [44]: legitimate resolvers that hit the limit switch to TCP.)
+  zone::ZoneBuildConfig zone_config;
+  zone_config.apex = *dns::Name::Parse("nl");
+  zone_config.nameservers = {{*dns::Name::Parse("ns1.dns.nl"),
+                              {*net::IpAddress::Parse("194.0.28.1")}}};
+  auto flood_zone = std::make_shared<const zone::Zone>(
+      zone::MakeZoneSkeleton(zone_config));
+  server::AuthServerConfig flood_config;
+  flood_config.rrl.enabled = true;
+  flood_config.rrl.responses_per_second = 400;
+  flood_config.rrl.burst = 1200;
+  server::AuthServer flooded(flood_config);
+  flooded.Serve(flood_zone);
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("203.0.113.66"), 4444};
+  dns::WireBuffer probe = dns::Message::MakeQuery(
+      1, *dns::Name::Parse("nl"), dns::RrType::kSoa).Encode();
+  int slipped = 0;
+  constexpr int kFlood = 20000;
+  for (int i = 0; i < kFlood; ++i) {
+    ctx.time_us = 1'000'000 + static_cast<sim::TimeUs>(i) * 100;  // 10k qps
+    auto wire = flooded.HandlePacket(ctx, probe);
+    auto response = dns::Message::Decode(wire);
+    slipped += response && response->header.tc;
+  }
+  double slip_ratio = static_cast<double>(slipped) / kFlood;
+
+  std::printf("\nchecks:\n");
+  std::printf("  [%s] q-min off kills the Google NS surge\n",
+              qmin_carries_ns ? "ok" : "FAIL");
+  std::printf("  [%s] RRL is inert for well-behaved resolvers (their TCP is\n"
+              "       EDNS/truncation-driven, not rate-limit-driven)\n",
+              rrl_inert ? "ok" : "FAIL");
+  std::printf("  [%s] ...but a 10k-qps single-source flood gets %.0f%% TC\n"
+              "       slips, forcing the sender to prove itself over TCP\n",
+              slip_ratio > 0.8 ? "ok" : "FAIL", slip_ratio * 100);
+  std::printf("  [%s] diurnal off flattens the hourly volume profile\n",
+              diurnal_flattens ? "ok" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3 reproduction: Google's monthly query mix at .nl and .nz from
+// Sep 2019 to Apr 2020. Two events must be visible:
+//   (1) the Dec-2019 Q-min deployment — NS share jumps and stays high;
+//   (2) the Feb-2020 .nz cyclic-dependency misconfiguration — an A/AAAA
+//       spike that interrupts the NS trend at .nz only, resuming in March.
+// The bench also runs the q-min-off ablation to show the NS surge is
+// caused by the resolver's minimization logic, not workload drift.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace clouddns;
+
+namespace {
+
+void ReportLongitudinal(cloud::Vantage vantage, bool ablation_qmin_off) {
+  cloud::ScenarioConfig config = bench::LongitudinalGoogleConfig(vantage);
+  config.qmin_override_off = ablation_qmin_off;
+  auto result = analysis::LoadOrRun(config);
+  auto rows =
+      analysis::ComputeMonthlyQtypes(result, cloud::Provider::kGoogle);
+
+  analysis::TextTable table(
+      {"month", "queries", "A", "AAAA", "NS", "DS", "DNSKEY", "other"});
+  std::string detected_month;
+  double previous_ns = 0;
+  for (const auto& row : rows) {
+    auto share = [&row](const char* key) {
+      auto it = row.qtype_share.find(key);
+      return it == row.qtype_share.end() ? 0.0 : it->second;
+    };
+    double ns = share("NS");
+    double other = 1.0 - share("A") - share("AAAA") - ns - share("DS") -
+                   share("DNSKEY");
+    table.AddRow({row.month, analysis::Count(row.total),
+                  analysis::Percent(share("A")),
+                  analysis::Percent(share("AAAA")), analysis::Percent(ns),
+                  analysis::Percent(share("DS")),
+                  analysis::Percent(share("DNSKEY")),
+                  analysis::Percent(other)});
+    // Deployment detection: the first month where the NS share jumps by
+    // more than 20 points over the previous month.
+    if (detected_month.empty() && ns > previous_ns + 0.20 && ns > 0.30) {
+      detected_month = row.month;
+    }
+    previous_ns = ns;
+  }
+  std::printf("\n[%s%s]\n%s", std::string(cloud::ToString(vantage)).c_str(),
+              ablation_qmin_off ? ", ABLATION: q-min forced off" : "",
+              table.Render().c_str());
+  if (!ablation_qmin_off) {
+    std::printf("Detected Q-min deployment month: %s (paper: %s)\n",
+                detected_month.empty() ? "none" : detected_month.c_str(),
+                analysis::paper::kGoogleQminMonth);
+  } else {
+    std::printf("Ablation check: %s\n",
+                detected_month.empty()
+                    ? "no NS surge without q-min, as expected"
+                    : "UNEXPECTED NS surge despite q-min off");
+  }
+}
+
+}  // namespace
+
+int main() {
+  analysis::PrintBanner("Figure 3",
+                        "Google's monthly query mix and the Q-min rollout");
+  ReportLongitudinal(cloud::Vantage::kNl, false);
+  ReportLongitudinal(cloud::Vantage::kNz, false);
+  ReportLongitudinal(cloud::Vantage::kNl, true);
+  std::printf(
+      "\nExpected shape: NS share jumps in Dec 2019 at both ccTLDs and\n"
+      "stays high; at .nz only, Feb 2020 shows an A/AAAA spike (the cyclic\n"
+      "dependency event) with the NS trend resuming in March; the ablation\n"
+      "run shows no NS surge at all.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7 (Appendix B) reproduction: the 2019 RR-type panels omitted from
+// Figure 2 for space. 2019 sits between the 2018 and 2020 shapes: still
+// A/AAAA-heavy for Google/Amazon/Microsoft/Facebook (Google's q-min only
+// landed in Dec 2019, after the w2019 capture), Cloudflare already NS/DS-
+// heavy.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace clouddns;
+
+int main() {
+  analysis::PrintBanner("Figure 7 (Appendix B)",
+                        "Resource records per cloud provider, 2019");
+  for (cloud::Vantage vantage : {cloud::Vantage::kNl, cloud::Vantage::kNz}) {
+    auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, 2019));
+    analysis::TextTable table(
+        {"provider", "A", "AAAA", "NS", "DS", "DNSKEY", "MX", "OTHER"});
+    for (cloud::Provider provider : cloud::MeasuredProviders()) {
+      auto mix = analysis::ComputeRrTypeMix(result, provider);
+      table.AddRow({bench::ProviderName(provider), analysis::Percent(mix["A"]),
+                    analysis::Percent(mix["AAAA"]),
+                    analysis::Percent(mix["NS"]), analysis::Percent(mix["DS"]),
+                    analysis::Percent(mix["DNSKEY"]),
+                    analysis::Percent(mix["MX"]),
+                    analysis::Percent(mix["OTHER"])});
+    }
+    std::printf("\n[%s 2019]\n%s",
+                std::string(cloud::ToString(vantage)).c_str(),
+                table.Render().c_str());
+  }
+  std::printf(
+      "\nExpected shape: like the 2018 panels for everyone but Cloudflare\n"
+      "— the w2019 capture (Nov 2019) predates Google's Dec-2019 q-min\n"
+      "rollout, so no NS surge yet.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks of the DNS wire-format layer: the hot path every
+// simulated packet crosses twice (encode at sender, decode at receiver).
+#include <benchmark/benchmark.h>
+
+#include "dns/message.h"
+
+using namespace clouddns;
+
+namespace {
+
+dns::Message MakeReferralResponse() {
+  dns::Message msg = dns::Message::MakeQuery(
+      42, *dns::Name::Parse("www.dom123.nl"), dns::RrType::kA,
+      dns::EdnsInfo{1232, true, 0});
+  msg.header.qr = true;
+  for (int i = 1; i <= 3; ++i) {
+    msg.authorities.push_back(dns::MakeNs(
+        *dns::Name::Parse("dom123.nl"),
+        *dns::Name::Parse("ns" + std::to_string(i) + ".dom123.nl"), 86400));
+    msg.additionals.push_back(dns::MakeA(
+        *dns::Name::Parse("ns" + std::to_string(i) + ".dom123.nl"),
+        net::Ipv4Address(100, 70, 0, static_cast<std::uint8_t>(i)), 86400));
+  }
+  return msg;
+}
+
+void BM_EncodeQuery(benchmark::State& state) {
+  dns::Message query = dns::Message::MakeQuery(
+      7, *dns::Name::Parse("www.example.nl"), dns::RrType::kAaaa,
+      dns::EdnsInfo{4096, true, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Encode());
+  }
+}
+BENCHMARK(BM_EncodeQuery);
+
+void BM_DecodeQuery(benchmark::State& state) {
+  dns::WireBuffer wire = dns::Message::MakeQuery(
+                             7, *dns::Name::Parse("www.example.nl"),
+                             dns::RrType::kAaaa, dns::EdnsInfo{4096, true, 0})
+                             .Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::Decode(wire));
+  }
+}
+BENCHMARK(BM_DecodeQuery);
+
+void BM_EncodeReferral(benchmark::State& state) {
+  dns::Message msg = MakeReferralResponse();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.Encode());
+  }
+}
+BENCHMARK(BM_EncodeReferral);
+
+void BM_DecodeReferral(benchmark::State& state) {
+  dns::WireBuffer wire = MakeReferralResponse().Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::Decode(wire));
+  }
+}
+BENCHMARK(BM_DecodeReferral);
+
+void BM_EncodeWithTruncationCheck(benchmark::State& state) {
+  dns::Message msg = MakeReferralResponse();
+  for (auto _ : state) {
+    bool truncated = false;
+    benchmark::DoNotOptimize(msg.EncodeWithLimit(512, &truncated));
+  }
+}
+BENCHMARK(BM_EncodeWithTruncationCheck);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Name::Parse("www.some-domain.co.nz"));
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameCompare(benchmark::State& state) {
+  dns::Name a = *dns::Name::Parse("WWW.Example.NL");
+  dns::Name b = *dns::Name::Parse("www.example.nl");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_NameCompare);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// End-to-end pipeline microbenchmarks: full resolutions through the
+// resolver/network/server stack, and simulation throughput per client
+// query — the numbers that justify the scaled-down capture budgets.
+#include <benchmark/benchmark.h>
+
+#include "cloud/scenario.h"
+#include "resolver/resolver.h"
+#include "server/auth_server.h"
+#include "server/leaf_auth.h"
+#include "sim/network.h"
+#include "zone/dnssec.h"
+#include "zone/zone_builder.h"
+
+using namespace clouddns;
+
+namespace {
+
+struct Pipeline {
+  Pipeline() {
+    auth_site = latency.AddSite({"AMS", 0, 0, 1.0, 0.0});
+    resolver_site = latency.AddSite({"FRA", 8, 0, 1.0, 0.0});
+    network = std::make_unique<sim::Network>(latency);
+
+    zone::ZoneBuildConfig root_config;
+    root_config.apex = dns::Name{};
+    root_config.nameservers = {
+        {*dns::Name::Parse("b.root-servers.example"),
+         {*net::IpAddress::Parse("198.41.0.4")}}};
+    auto root = zone::MakeZoneSkeleton(root_config);
+    zone::AddDelegation(root, *dns::Name::Parse("nl"),
+                        {{*dns::Name::Parse("ns1.dns.nl"),
+                          {*net::IpAddress::Parse("194.0.28.1")}}},
+                        true, 172800);
+    zone::SignZone(root);
+    root_zone = std::make_shared<const zone::Zone>(std::move(root));
+
+    zone::ZoneBuildConfig nl_config;
+    nl_config.apex = *dns::Name::Parse("nl");
+    nl_config.nameservers = {{*dns::Name::Parse("ns1.dns.nl"),
+                              {*net::IpAddress::Parse("194.0.28.1")}}};
+    auto nl = zone::MakeZoneSkeleton(nl_config);
+    zone::PopulateDelegations(nl, 20000, "dom", 0.55,
+                              net::Ipv4Address(100, 70, 0, 0));
+    zone::SignZone(nl);
+    nl_zone = std::make_shared<const zone::Zone>(std::move(nl));
+
+    root_server = std::make_unique<server::AuthServer>(
+        server::AuthServerConfig{});
+    root_server->Serve(root_zone);
+    network->RegisterServer(*net::IpAddress::Parse("198.41.0.4"), auth_site,
+                            *root_server);
+    nl_server =
+        std::make_unique<server::AuthServer>(server::AuthServerConfig{});
+    nl_server->Serve(nl_zone);
+    network->RegisterServer(*net::IpAddress::Parse("194.0.28.1"), auth_site,
+                            *nl_server);
+    leaf = std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
+    network->SetDefaultRoute(auth_site, *leaf);
+  }
+
+  resolver::RecursiveResolver MakeResolver(bool qmin, bool validate) {
+    resolver::ResolverConfig config;
+    resolver::EgressHost host;
+    host.v4 = *net::IpAddress::Parse("10.1.0.1");
+    host.site = resolver_site;
+    config.hosts = {host};
+    config.qname_minimization = qmin;
+    config.validate_dnssec = validate;
+    return resolver::RecursiveResolver(
+        *network, config, {*net::IpAddress::Parse("198.41.0.4")}, {});
+  }
+
+  sim::LatencyModel latency;
+  sim::SiteId auth_site, resolver_site;
+  std::unique_ptr<sim::Network> network;
+  std::shared_ptr<const zone::Zone> root_zone, nl_zone;
+  std::unique_ptr<server::AuthServer> root_server, nl_server;
+  std::unique_ptr<server::LeafAuthService> leaf;
+};
+
+void BM_ColdResolution(benchmark::State& state) {
+  Pipeline pipeline;
+  auto resolver = pipeline.MakeResolver(state.range(0) != 0, false);
+  sim::Rng rng(7);
+  sim::TimeUs now = 0;
+  for (auto _ : state) {
+    // Unique domains defeat the cache: every iteration is a full descent.
+    dns::Name qname = *dns::Name::Parse(
+        "www.dom" + std::to_string(rng.NextBelow(20000)) + ".nl");
+    now += 1000;
+    benchmark::DoNotOptimize(resolver.Resolve(qname, dns::RrType::kA, now));
+  }
+}
+BENCHMARK(BM_ColdResolution)->Arg(0)->Arg(1)->ArgNames({"qmin"});
+
+void BM_WarmResolution(benchmark::State& state) {
+  Pipeline pipeline;
+  auto resolver = pipeline.MakeResolver(false, false);
+  dns::Name qname = *dns::Name::Parse("www.dom7.nl");
+  resolver.Resolve(qname, dns::RrType::kA, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.Resolve(qname, dns::RrType::kA, 1000));
+  }
+}
+BENCHMARK(BM_WarmResolution);
+
+void BM_AuthServerRespond(benchmark::State& state) {
+  Pipeline pipeline;
+  dns::Message query = dns::Message::MakeQuery(
+      9, *dns::Name::Parse("www.dom42.nl"), dns::RrType::kA,
+      dns::EdnsInfo{1232, true, 0});
+  dns::WireBuffer wire = query.Encode();
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("10.1.0.1"), 40000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.nl_server->HandlePacket(ctx, wire));
+  }
+}
+BENCHMARK(BM_AuthServerRespond);
+
+void BM_ScenarioThroughput(benchmark::State& state) {
+  // Whole-pipeline cost per client query at a tiny scale.
+  for (auto _ : state) {
+    cloud::ScenarioConfig config;
+    config.vantage = cloud::Vantage::kNl;
+    config.year = 2020;
+    config.client_queries = 20000;
+    config.zone_scale = 0.0005;
+    benchmark::DoNotOptimize(cloud::RunScenario(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ScenarioThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 3 reproduction: total/valid queries, distinct resolvers, and
+// distinct ASes for each of the nine datasets (.nl/.nz/B-Root x 3 years).
+// Absolute counts are scaled (the paper processed 55.7B queries; we stream
+// a configurable budget through the same pipeline) — the comparisons that
+// must hold are the *ratios*: valid share per vantage, the ccTLD-vs-root
+// junk contrast, and the growth directions across years.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace clouddns;
+
+int main() {
+  analysis::PrintBanner("Table 3", "Evaluated datasets");
+  analysis::TextTable table(
+      {"dataset", "queries", "valid", "valid%", "paper-valid%", "resolvers",
+       "resolvers(HLL)", "ASes", "paper-ASes(scaled)"});
+
+  for (cloud::Vantage vantage :
+       {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
+    for (int year : {2018, 2019, 2020}) {
+      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      auto stats = analysis::ComputeDatasetStats(result);
+      auto paper_row = *analysis::paper::Table3(vantage, year);
+      double paper_valid =
+          paper_row.queries_valid_b / paper_row.queries_total_b;
+      double scaled_ases =
+          static_cast<double>(paper_row.ases) * result.config.as_scale;
+      table.AddRow({std::string(cloud::ToString(vantage)) + " " +
+                        std::to_string(year),
+                    analysis::Count(stats.queries_total),
+                    analysis::Count(stats.queries_valid),
+                    analysis::Percent(static_cast<double>(stats.queries_valid) /
+                                      static_cast<double>(stats.queries_total)),
+                    analysis::Percent(paper_valid),
+                    analysis::Count(stats.resolvers_exact),
+                    analysis::Fixed(stats.resolvers_hll, 0),
+                    analysis::Count(stats.ases_exact),
+                    analysis::Fixed(scaled_ases, 0)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: ccTLD valid%% high (~71-86%%), B-Root valid%% low\n"
+      "(20-35%%, Chromium junk); query volume grows every year at every\n"
+      "vantage; HLL estimates track the exact distinct counts within ~1%%.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 6 reproduction: Amazon's and Microsoft's distinct resolver source
+// addresses split by IP family (w2020). The paper's point: both fleets are
+// overwhelmingly IPv4 (98.2% / 97.0% at .nl), which explains their IPv4-
+// dominant traffic in Table 5. Absolute counts scale with fleet_scale.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace clouddns;
+
+int main() {
+  analysis::PrintBanner("Table 6", "Amazon and Microsoft resolvers (w2020)");
+  analysis::TextTable table({"provider", "vantage", "total", "IPv4", "IPv4%",
+                             "paper%", "IPv6", "IPv6%", "paper%",
+                             "paper-total(scaled)"});
+  for (cloud::Provider provider :
+       {cloud::Provider::kAmazon, cloud::Provider::kMicrosoft}) {
+    for (cloud::Vantage vantage : {cloud::Vantage::kNl, cloud::Vantage::kNz}) {
+      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, 2020));
+      auto count = analysis::ComputeResolverFamilies(result, provider);
+      auto paper = *analysis::paper::Table6(provider, vantage);
+      double total = static_cast<double>(count.total);
+      table.AddRow(
+          {bench::ProviderName(provider), std::string(cloud::ToString(vantage)),
+           analysis::Count(count.total), analysis::Count(count.v4),
+           analysis::Percent(total == 0 ? 0 : count.v4 / total),
+           analysis::Percent(static_cast<double>(paper.v4) / paper.total),
+           analysis::Count(count.v6),
+           analysis::Percent(total == 0 ? 0 : count.v6 / total),
+           analysis::Percent(static_cast<double>(paper.v6) / paper.total),
+           analysis::Fixed(static_cast<double>(paper.total) *
+                               result.config.fleet_scale,
+                           0)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: >93%% of both providers' source addresses are\n"
+      "IPv4; the small IPv6 populations match the tiny IPv6 traffic shares\n"
+      "in Table 5 (Amazon's few v6 sources send a bit, Microsoft's almost\n"
+      "nothing).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// A guided tour of one recursive resolution: every packet a resolver sends
+// while answering "www.dom3.nl AAAA", printed in four configurations —
+// plain, QNAME-minimized, validating, and validating at EDNS 512 (which
+// forces a TCP retry). This is the microscope view of the mechanisms the
+// scenario benches aggregate over millions of queries.
+#include <cstdio>
+
+#include "resolver/resolver.h"
+#include "server/auth_server.h"
+#include "server/leaf_auth.h"
+#include "sim/network.h"
+#include "zone/dnssec.h"
+#include "zone/zone_builder.h"
+
+using namespace clouddns;
+
+namespace {
+
+dns::Name N(const char* text) { return *dns::Name::Parse(text); }
+
+struct World {
+  World() {
+    auth_site = latency.AddSite({"AMS", 0, 0, 1.0, 0.0});
+    resolver_site = latency.AddSite({"FRA", 8, 0, 1.0, 0.0});
+    network = std::make_unique<sim::Network>(latency);
+
+    zone::ZoneBuildConfig root_config;
+    root_config.apex = dns::Name{};
+    root_config.nameservers = {
+        {N("b.root-servers.example"), {*net::IpAddress::Parse("198.41.0.4")}}};
+    auto root = zone::MakeZoneSkeleton(root_config);
+    zone::AddDelegation(root, N("nl"),
+                        {{N("ns1.dns.nl"),
+                          {*net::IpAddress::Parse("194.0.28.1")}}},
+                        true, 172800);
+    zone::SignZone(root);
+    root_zone = std::make_shared<const zone::Zone>(std::move(root));
+
+    zone::ZoneBuildConfig nl_config;
+    nl_config.apex = N("nl");
+    nl_config.nameservers = {
+        {N("ns1.dns.nl"), {*net::IpAddress::Parse("194.0.28.1")}}};
+    auto nl = zone::MakeZoneSkeleton(nl_config);
+    zone::PopulateDelegations(nl, 10, "dom", 1.0,
+                              net::Ipv4Address(100, 70, 0, 0));
+    zone::SignZone(nl);
+    nl_zone = std::make_shared<const zone::Zone>(std::move(nl));
+
+    root_server =
+        std::make_unique<server::AuthServer>(server::AuthServerConfig{});
+    root_server->Serve(root_zone);
+    network->RegisterServer(*net::IpAddress::Parse("198.41.0.4"), auth_site,
+                            *root_server);
+    nl_server =
+        std::make_unique<server::AuthServer>(server::AuthServerConfig{});
+    nl_server->Serve(nl_zone);
+    network->RegisterServer(*net::IpAddress::Parse("194.0.28.1"), auth_site,
+                            *nl_server);
+    leaf = std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
+    network->SetDefaultRoute(auth_site, *leaf);
+  }
+
+  void Walk(const char* title, bool qmin, bool validate,
+            std::uint16_t edns_size) {
+    std::printf("\n=== %s ===\n", title);
+    resolver::ResolverConfig config;
+    resolver::EgressHost host;
+    host.v4 = *net::IpAddress::Parse("10.1.0.1");
+    host.site = resolver_site;
+    config.hosts = {host};
+    config.qname_minimization = qmin;
+    config.validate_dnssec = validate;
+    config.edns_udp_size = edns_size;
+    resolver::RecursiveResolver resolver(
+        *network, config, {*net::IpAddress::Parse("198.41.0.4")}, {});
+
+    std::size_t root_before = root_server->captured().size();
+    std::size_t nl_before = nl_server->captured().size();
+    auto result = resolver.Resolve(N("www.dom3.nl"), dns::RrType::kAaaa, 1);
+
+    std::printf("result: %s after %d upstream queries\n",
+                std::string(ToString(result.rcode)).c_str(),
+                result.upstream_queries);
+    auto dump = [](const char* where, const capture::CaptureBuffer& records,
+                   std::size_t from) {
+      for (std::size_t i = from; i < records.size(); ++i) {
+        const auto& r = records[i];
+        std::printf("  @%-7s %-4s %-22s %-6s edns=%-4u%s%s rcode=%s\n", where,
+                    std::string(ToString(r.transport)).c_str(),
+                    r.qname.ToString().c_str(),
+                    std::string(ToString(r.qtype)).c_str(), r.edns_udp_size,
+                    r.do_bit ? " DO" : "", r.tc ? " TC" : "",
+                    std::string(ToString(r.rcode)).c_str());
+      }
+    };
+    dump("root", root_server->captured(), root_before);
+    dump(".nl", nl_server->captured(), nl_before);
+    std::printf("  (+ leaf-authoritative traffic the study never captures)\n");
+  }
+
+  sim::LatencyModel latency;
+  sim::SiteId auth_site, resolver_site;
+  std::unique_ptr<sim::Network> network;
+  std::shared_ptr<const zone::Zone> root_zone, nl_zone;
+  std::unique_ptr<server::AuthServer> root_server, nl_server;
+  std::unique_ptr<server::LeafAuthService> leaf;
+};
+
+}  // namespace
+
+int main() {
+  World world;
+  world.Walk("plain iterative resolution", false, false, 4096);
+  world.Walk("QNAME minimization: the TLD only learns 'dom3.nl NS'", true,
+             false, 4096);
+  world.Walk("DNSSEC validation: DNSKEY fetches join the walk", false, true,
+             4096);
+  world.Walk("validating at EDNS 512: truncation forces TCP", false, true,
+             512);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// What-if projection: the paper asks "how centralized is DNS traffic
+// becoming?" — this example turns the question around and asks the
+// simulator how the measured concentration responds if cloud providers'
+// client bases keep growing relative to the ISP long tail. Sweeps a
+// consolidation factor over the calibrated 2020 .nl world and reports the
+// Fig.-1-style share plus the single-point-of-failure framing from the
+// paper's introduction (how much of the ccTLD's query stream depends on
+// the top provider / top five).
+#include <cstdio>
+
+#include "analysis/experiments.h"
+#include "analysis/report.h"
+#include "cloud/scenario.h"
+
+using namespace clouddns;
+
+int main() {
+  analysis::TextTable table({"consolidation", "5-CP share", "Google share",
+                             "largest-AS share", "distinct ASes"});
+  for (double factor : {0.5, 1.0, 2.0, 4.0}) {
+    cloud::ScenarioConfig config;
+    config.vantage = cloud::Vantage::kNl;
+    config.year = 2020;
+    config.client_queries = 60'000;
+    config.consolidation_factor = factor;
+    auto result = cloud::RunScenario(config);
+
+    auto shares = analysis::ComputeCloudShares(result);
+    auto by_as = entrada::CountBy(result.records,
+                                  entrada::KeySrcAs(result.asdb));
+    std::uint64_t largest = 0;
+    for (const auto& [asn, count] : by_as.counts) {
+      largest = std::max(largest, count);
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "x%.1f", factor);
+    table.AddRow({label, analysis::Percent(shares.back().share),
+                  analysis::Percent(shares[0].share),
+                  analysis::Percent(static_cast<double>(largest) /
+                                    static_cast<double>(result.records.size())),
+                  analysis::Count(by_as.counts.size())});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nReading: at the calibrated operating point (x1.0) five providers\n"
+      "already carry ~1/3 of the ccTLD's queries; doubling their client\n"
+      "base pushes the share toward half, concentrating the failure domain\n"
+      "the paper's introduction warns about (Dyn 2016, AWS 2019). The\n"
+      "distinct-AS count barely moves — consolidation is about volume, not\n"
+      "about fewer players appearing.\n");
+  return 0;
+}

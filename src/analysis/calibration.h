@@ -1,0 +1,165 @@
+// The paper's reported values, transcribed for the paper-vs-measured
+// columns the bench harness prints. Figure values are read off the plots
+// and are therefore approximate (marked ~); table values are exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cloud/providers.h"
+#include "cloud/scenario.h"
+
+namespace clouddns::analysis::paper {
+
+// ---- Table 3: evaluated datasets (queries in billions) ----
+struct Table3Row {
+  double queries_total_b = 0;
+  double queries_valid_b = 0;
+  double resolvers_m = 0;
+  std::uint64_t ases = 0;
+};
+inline std::optional<Table3Row> Table3(cloud::Vantage vantage, int year) {
+  using V = cloud::Vantage;
+  if (vantage == V::kNl) {
+    if (year == 2018) return Table3Row{7.29, 6.53, 2.09, 41276};
+    if (year == 2019) return Table3Row{10.16, 9.05, 2.18, 42727};
+    if (year == 2020) return Table3Row{13.75, 11.88, 1.99, 41716};
+  }
+  if (vantage == V::kNz) {
+    if (year == 2018) return Table3Row{2.95, 2.00, 1.28, 37623};
+    if (year == 2019) return Table3Row{3.48, 2.81, 1.42, 39601};
+    if (year == 2020) return Table3Row{4.57, 3.03, 1.31, 38505};
+  }
+  if (vantage == V::kRoot) {
+    if (year == 2018) return Table3Row{2.68, 0.93, 4.23, 45210};
+    if (year == 2019) return Table3Row{4.13, 1.43, 4.13, 48154};
+    if (year == 2020) return Table3Row{6.70, 1.34, 6.01, 51820};
+  }
+  return std::nullopt;
+}
+
+// ---- Figure 1: CP share of all queries (read off the plots, ~) ----
+inline double Figure1CloudShare(cloud::Vantage vantage, int year) {
+  using V = cloud::Vantage;
+  if (vantage == V::kNl) return year == 2018 ? 0.32 : (year == 2019 ? 0.33 : 0.31);
+  if (vantage == V::kNz) return year == 2018 ? 0.28 : (year == 2019 ? 0.29 : 0.30);
+  return year == 2018 ? 0.055 : (year == 2019 ? 0.075 : 0.087);  // B-Root
+}
+/// §4.1: the 2020 B-Root CP share quoted in the text.
+inline constexpr double kFigure1RootShare2020 = 0.087;
+
+// ---- Table 4 / Table 7: Google public-DNS split ----
+struct GoogleSplitRow {
+  double query_ratio;     ///< Public queries / all Google queries.
+  double resolver_ratio;  ///< Public sources / all Google sources.
+};
+inline std::optional<GoogleSplitRow> GoogleSplitRef(cloud::Vantage vantage,
+                                                    int year) {
+  using V = cloud::Vantage;
+  if (year == 2020) {
+    if (vantage == V::kNl) return GoogleSplitRow{0.865, 0.156};
+    if (vantage == V::kNz) return GoogleSplitRow{0.884, 0.187};
+  }
+  if (year == 2019) {  // Appendix A, Table 7
+    if (vantage == V::kNl) return GoogleSplitRow{0.893, 0.154};
+    if (vantage == V::kNz) return GoogleSplitRow{0.844, 0.177};
+  }
+  return std::nullopt;
+}
+
+// ---- Table 5: per-CP transport mix for the ccTLDs ----
+struct Table5Row {
+  double ipv4, ipv6, udp, tcp;
+};
+inline std::optional<Table5Row> Table5(cloud::Provider provider,
+                                       cloud::Vantage vantage, int year) {
+  using P = cloud::Provider;
+  using V = cloud::Vantage;
+  const bool nl = vantage == V::kNl;
+  if (vantage != V::kNl && vantage != V::kNz) return std::nullopt;
+  switch (provider) {
+    case P::kGoogle:
+      if (year == 2018) return nl ? Table5Row{0.66, 0.34, 1, 0}
+                                  : Table5Row{0.61, 0.39, 1, 0};
+      if (year == 2019) return nl ? Table5Row{0.49, 0.51, 1, 0}
+                                  : Table5Row{0.54, 0.46, 1, 0};
+      return nl ? Table5Row{0.52, 0.48, 1, 0} : Table5Row{0.54, 0.46, 1, 0};
+    case P::kAmazon:
+      if (year == 2018) return nl ? Table5Row{1, 0, 1, 0}
+                                  : Table5Row{1, 0, 0.98, 0.02};
+      if (year == 2019) return nl ? Table5Row{0.98, 0.02, 0.98, 0.02}
+                                  : Table5Row{0.97, 0.03, 0.96, 0.04};
+      return nl ? Table5Row{0.97, 0.03, 0.95, 0.05}
+                : Table5Row{0.96, 0.04, 0.95, 0.05};
+    case P::kMicrosoft:
+      return Table5Row{1, 0, 1, 0};
+    case P::kFacebook:
+      if (year == 2018) return nl ? Table5Row{0.52, 0.48, 0.79, 0.21}
+                                  : Table5Row{0.51, 0.49, 0.52, 0.48};
+      if (year == 2019) return nl ? Table5Row{0.24, 0.76, 0.85, 0.15}
+                                  : Table5Row{0.19, 0.81, 0.83, 0.17};
+      return nl ? Table5Row{0.24, 0.76, 0.86, 0.14}
+                : Table5Row{0.17, 0.83, 0.85, 0.15};
+    case P::kCloudflare:
+      if (year == 2018) return Table5Row{0.54, 0.46, 1, 0};
+      if (year == 2019) return nl ? Table5Row{0.57, 0.43, 0.99, 0.01}
+                                  : Table5Row{0.56, 0.44, 1, 0};
+      return nl ? Table5Row{0.51, 0.49, 0.98, 0.02}
+                : Table5Row{0.49, 0.51, 0.99, 0.01};
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---- Table 6: Amazon/Microsoft resolver sources by family (w2020) ----
+struct Table6Row {
+  std::uint64_t total, v4, v6;
+};
+inline std::optional<Table6Row> Table6(cloud::Provider provider,
+                                       cloud::Vantage vantage) {
+  using P = cloud::Provider;
+  using V = cloud::Vantage;
+  if (provider == P::kAmazon) {
+    if (vantage == V::kNl) return Table6Row{38317, 37640, 677};
+    if (vantage == V::kNz) return Table6Row{34645, 33908, 737};
+  }
+  if (provider == P::kMicrosoft) {
+    if (vantage == V::kNl) return Table6Row{14494, 14069, 425};
+    if (vantage == V::kNz) return Table6Row{10206, 9738, 468};
+  }
+  return std::nullopt;
+}
+
+// ---- Figure 4: junk ratios (text of §3; per-CP values read off plots) --
+inline double SectionThreeJunk(cloud::Vantage vantage, int year) {
+  using V = cloud::Vantage;
+  if (vantage == V::kNl) {
+    return year == 2018 ? 1 - 6.53 / 7.29
+                        : (year == 2019 ? 1 - 9.05 / 10.16 : 1 - 11.88 / 13.75);
+  }
+  if (vantage == V::kNz) {
+    return year == 2018 ? 1 - 2.00 / 2.95
+                        : (year == 2019 ? 1 - 2.81 / 3.48 : 1 - 3.03 / 4.57);
+  }
+  return year == 2018 ? 1 - 0.93 / 2.68
+                      : (year == 2019 ? 1 - 1.43 / 4.13 : 1 - 1.34 / 6.70);
+}
+
+// ---- Figure 6: EDNS sizes + §4.4 truncation ratios (.nl w2020) ----
+inline constexpr double kFacebookEdns512Share = 0.30;
+inline constexpr double kGoogleEdnsUpTo1232Share = 0.24;
+inline constexpr double kFacebookTruncated = 0.1716;
+inline constexpr double kGoogleTruncated = 0.0004;
+inline constexpr double kMicrosoftTruncated = 0.0001;
+
+// ---- Figure 3: Q-min deployment instant (§4.2.1) ----
+inline constexpr const char* kGoogleQminMonth = "2019-12";
+inline constexpr const char* kNzCyclicEventMonth = "2020-02";
+
+// ---- §4.1 headline numbers ----
+inline constexpr double kCcTldCloudShareHeadline = 0.30;  // ">30%"
+inline constexpr std::uint64_t kCloudAsCount = 20;        // Table 1
+
+}  // namespace clouddns::analysis::paper

@@ -1,0 +1,93 @@
+#include "analysis/dataset_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "capture/columnar.h"
+
+namespace clouddns::analysis {
+namespace {
+
+std::uint64_t MixField(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+  return hash;
+}
+
+}  // namespace
+
+std::string DefaultCacheDir() {
+  if (const char* dir = std::getenv("CLOUDDNS_CACHE_DIR")) return dir;
+  return "clouddns_cache";
+}
+
+std::uint64_t EffectiveQueryBudget(std::uint64_t configured) {
+  if (const char* env = std::getenv("CLOUDDNS_QUERIES")) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && value > 0) return value;
+  }
+  return configured;
+}
+
+std::string CacheKey(const cloud::ScenarioConfig& config) {
+  // Bump when simulator behaviour changes so stale captures are ignored.
+  constexpr std::uint64_t kSimulatorVersion = 9;
+  std::uint64_t hash = 0x434c4f5544444e53ull;  // "CLOUDDNS"
+  hash = MixField(hash, kSimulatorVersion);
+  hash = MixField(hash, static_cast<std::uint64_t>(config.vantage));
+  hash = MixField(hash, static_cast<std::uint64_t>(config.year));
+  hash = MixField(hash, config.client_queries);
+  hash = MixField(hash, static_cast<std::uint64_t>(config.zone_scale * 1e9));
+  hash = MixField(hash, static_cast<std::uint64_t>(config.fleet_scale * 1e9));
+  hash = MixField(hash, static_cast<std::uint64_t>(config.as_scale * 1e9));
+  hash = MixField(hash, config.seed);
+  hash = MixField(hash, static_cast<std::uint64_t>(config.warmup_fraction * 1e9));
+  hash = MixField(hash, static_cast<std::uint64_t>(config.diurnal_amplitude * 1e9));
+  hash = MixField(hash, static_cast<std::uint64_t>(config.consolidation_factor * 1e9));
+  hash = MixField(hash, config.window_start.value_or(0));
+  hash = MixField(hash, config.window_end.value_or(0));
+  hash = MixField(hash, (config.google_only ? 1u : 0u) |
+                            (config.inject_cyclic_event ? 2u : 0u) |
+                            (config.qmin_override_off ? 4u : 0u) |
+                            (config.rrl_override_off ? 8u : 0u));
+
+  std::string vantage = config.vantage == cloud::Vantage::kNl
+                            ? "nl"
+                            : (config.vantage == cloud::Vantage::kNz ? "nz"
+                                                                     : "root");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s_%d_%016llx", vantage.c_str(), config.year,
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
+                                const std::string& cache_dir) {
+  config.client_queries = EffectiveQueryBudget(config.client_queries);
+  if (cache_dir.empty()) return cloud::RunScenario(config);
+
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  const std::string path =
+      cache_dir + "/" + CacheKey(config) + ".cdns";
+
+  if (auto cached = capture::ReadCaptureFile(path)) {
+    // Rebuild the deterministic context (zones, AS database, PTR records)
+    // without streaming traffic, then splice in the cached capture.
+    cloud::ScenarioConfig dry = config;
+    dry.client_queries = 0;
+    cloud::ScenarioResult result = cloud::RunScenario(dry);
+    result.config = config;
+    result.records = std::move(*cached);
+    return result;
+  }
+
+  cloud::ScenarioResult result = cloud::RunScenario(config);
+  if (!capture::WriteCaptureFile(path, result.records)) {
+    std::remove(path.c_str());
+  }
+  return result;
+}
+
+}  // namespace clouddns::analysis

@@ -1,0 +1,31 @@
+// Scenario result caching for the bench harness: simulating a capture week
+// takes seconds, and most benches share datasets. The capture stream is
+// persisted in the columnar format; everything else in a ScenarioResult is
+// deterministic from the config and is rebuilt with a traffic-free run.
+#pragma once
+
+#include <string>
+
+#include "cloud/scenario.h"
+
+namespace clouddns::analysis {
+
+/// Directory used by default ("./clouddns_cache"); override with the
+/// CLOUDDNS_CACHE_DIR environment variable.
+[[nodiscard]] std::string DefaultCacheDir();
+
+/// Effective per-dataset client-query budget: the config's value unless
+/// the CLOUDDNS_QUERIES environment variable overrides it.
+[[nodiscard]] std::uint64_t EffectiveQueryBudget(std::uint64_t configured);
+
+/// Deterministic cache key for a scenario configuration.
+[[nodiscard]] std::string CacheKey(const cloud::ScenarioConfig& config);
+
+/// Runs the scenario, reusing the cached capture stream when one exists
+/// for this exact configuration. Pass an empty `cache_dir` to disable
+/// caching entirely.
+[[nodiscard]] cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
+                                              const std::string& cache_dir =
+                                                  DefaultCacheDir());
+
+}  // namespace clouddns::analysis

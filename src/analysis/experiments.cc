@@ -1,0 +1,286 @@
+#include "analysis/experiments.h"
+
+#include <algorithm>
+
+#include "analysis/rdns.h"
+#include "entrada/cdf.h"
+#include "entrada/hll.h"
+
+namespace clouddns::analysis {
+namespace {
+
+entrada::KeyFn KeyProviderless() {
+  return entrada::KeySrcAddress();
+}
+
+}  // namespace
+
+cloud::Provider ProviderOfRecord(const cloud::ScenarioResult& result,
+                                 const capture::CaptureRecord& record) {
+  auto asn = result.asdb.OriginAs(record.src);
+  return asn ? cloud::ProviderOfAsn(*asn) : cloud::Provider::kOther;
+}
+
+entrada::Filter FilterProvider(const cloud::ScenarioResult& result,
+                               cloud::Provider provider) {
+  return [&result, provider](const capture::CaptureRecord& record) {
+    return ProviderOfRecord(result, record) == provider;
+  };
+}
+
+DatasetStats ComputeDatasetStats(const cloud::ScenarioResult& result) {
+  DatasetStats stats;
+  stats.queries_total = result.records.size();
+  stats.queries_valid =
+      entrada::CountIf(result.records, entrada::FilterValid());
+  stats.resolvers_exact =
+      entrada::DistinctExact(result.records, KeyProviderless());
+  stats.resolvers_hll =
+      entrada::DistinctSketch(result.records, KeyProviderless()).Estimate();
+  auto as_key = entrada::KeySrcAs(result.asdb);
+  stats.ases_exact = entrada::DistinctExact(result.records, as_key);
+  stats.ases_hll =
+      entrada::DistinctSketch(result.records, as_key).Estimate();
+  return stats;
+}
+
+std::vector<ProviderShare> ComputeCloudShares(
+    const cloud::ScenarioResult& result) {
+  std::vector<ProviderShare> shares;
+  const double total = static_cast<double>(result.records.size());
+  std::uint64_t cp_sum = 0;
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    ProviderShare share;
+    share.provider = provider;
+    share.queries =
+        entrada::CountIf(result.records, FilterProvider(result, provider));
+    share.share = total == 0 ? 0 : static_cast<double>(share.queries) / total;
+    cp_sum += share.queries;
+    shares.push_back(share);
+  }
+  ProviderShare combined;
+  combined.provider = cloud::Provider::kOther;  // stands for "all 5 CPs"
+  combined.queries = cp_sum;
+  combined.share = total == 0 ? 0 : static_cast<double>(cp_sum) / total;
+  shares.push_back(combined);
+  return shares;
+}
+
+GoogleSplit ComputeGoogleSplit(const cloud::ScenarioResult& result) {
+  GoogleSplit split;
+  auto google = FilterProvider(result, cloud::Provider::kGoogle);
+  auto is_public = [&result](const capture::CaptureRecord& record) {
+    return result.google_public.Lookup(record.src).value_or(false);
+  };
+  split.queries_total = entrada::CountIf(result.records, google);
+  split.queries_public =
+      entrada::CountIf(result.records, entrada::And(google, is_public));
+  split.resolvers_total =
+      entrada::DistinctExact(result.records, KeyProviderless(), google);
+  split.resolvers_public = entrada::DistinctExact(
+      result.records, KeyProviderless(), entrada::And(google, is_public));
+  return split;
+}
+
+std::map<std::string, double> ComputeRrTypeMix(
+    const cloud::ScenarioResult& result, cloud::Provider provider) {
+  auto agg = entrada::CountBy(result.records, entrada::KeyQtype(),
+                              FilterProvider(result, provider));
+  std::map<std::string, double> mix;
+  static const char* kCategories[] = {"A", "AAAA", "NS", "DS", "DNSKEY", "MX"};
+  std::uint64_t categorized = 0;
+  for (const char* category : kCategories) {
+    std::uint64_t count = agg.Of(category);
+    mix[category] = agg.total == 0
+                        ? 0
+                        : static_cast<double>(count) /
+                              static_cast<double>(agg.total);
+    categorized += count;
+  }
+  mix["OTHER"] = agg.total == 0
+                     ? 0
+                     : static_cast<double>(agg.total - categorized) /
+                           static_cast<double>(agg.total);
+  return mix;
+}
+
+std::vector<MonthlyQtypeRow> ComputeMonthlyQtypes(
+    const cloud::ScenarioResult& result, cloud::Provider provider) {
+  auto months = entrada::CountByMonth(result.records, entrada::KeyQtype(),
+                                      FilterProvider(result, provider));
+  std::vector<MonthlyQtypeRow> rows;
+  for (const auto& [month, agg] : months) {
+    MonthlyQtypeRow row;
+    row.month = month;
+    row.total = agg.total;
+    for (const auto& [qtype, count] : agg.counts) {
+      row.qtype_share[qtype] =
+          static_cast<double>(count) / static_cast<double>(agg.total);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double ComputeJunkRatio(const cloud::ScenarioResult& result,
+                        std::optional<cloud::Provider> provider) {
+  entrada::Filter filter =
+      provider ? FilterProvider(result, *provider) : entrada::Filter{};
+  std::uint64_t total = entrada::CountIf(result.records, filter);
+  std::uint64_t junk = entrada::CountIf(
+      result.records, entrada::And(filter, entrada::FilterJunk()));
+  return total == 0 ? 0 : static_cast<double>(junk) / static_cast<double>(total);
+}
+
+TransportMix ComputeTransportMix(const cloud::ScenarioResult& result,
+                                 cloud::Provider provider) {
+  TransportMix mix;
+  for (const auto& record : result.records) {
+    if (ProviderOfRecord(result, record) != provider) continue;
+    ++mix.total;
+    if (record.src.is_v6()) {
+      mix.ipv6 += 1;
+    } else {
+      mix.ipv4 += 1;
+    }
+    if (record.transport == dns::Transport::kTcp) {
+      mix.tcp += 1;
+    } else {
+      mix.udp += 1;
+    }
+  }
+  if (mix.total > 0) {
+    double total = static_cast<double>(mix.total);
+    mix.ipv4 /= total;
+    mix.ipv6 /= total;
+    mix.udp /= total;
+    mix.tcp /= total;
+  }
+  return mix;
+}
+
+ResolverFamilyCount ComputeResolverFamilies(const cloud::ScenarioResult& result,
+                                            cloud::Provider provider) {
+  ResolverFamilyCount count;
+  auto filter = FilterProvider(result, provider);
+  count.total = entrada::DistinctExact(result.records, KeyProviderless(),
+                                       filter);
+  count.v4 = entrada::DistinctExact(
+      result.records, KeyProviderless(),
+      entrada::And(filter, [](const capture::CaptureRecord& r) {
+        return r.src.is_v4();
+      }));
+  count.v6 = count.total - count.v4;
+  return count;
+}
+
+std::vector<FacebookSiteStats> ComputeFacebookSites(
+    const cloud::ScenarioResult& result, std::uint32_t server_id) {
+  RdnsDatabase rdns(result.ptr_records);
+
+  struct SiteAccumulator {
+    std::uint64_t queries = 0;
+    std::uint64_t v6 = 0;
+    std::vector<double> tcp_rtt_v4_ms;
+    std::vector<double> tcp_rtt_v6_ms;
+  };
+  std::map<std::string, SiteAccumulator> sites;
+  std::vector<net::IpAddress> facebook_sources;
+
+  for (const auto& record : result.records) {
+    if (record.server_id != server_id) continue;
+    if (ProviderOfRecord(result, record) != cloud::Provider::kFacebook) {
+      continue;
+    }
+    auto ptr = rdns.Lookup(record.src);
+    if (!ptr) continue;  // the paper saw 3 addresses with no PTR
+    auto site = SiteTagFromPtr(*ptr);
+    if (!site) continue;
+    SiteAccumulator& acc = sites[*site];
+    ++acc.queries;
+    acc.v6 += record.src.is_v6();
+    if (record.transport == dns::Transport::kTcp &&
+        record.tcp_handshake_rtt_us > 0) {
+      double ms = static_cast<double>(record.tcp_handshake_rtt_us) / 1000.0;
+      (record.src.is_v6() ? acc.tcp_rtt_v6_ms : acc.tcp_rtt_v4_ms)
+          .push_back(ms);
+    }
+    facebook_sources.push_back(record.src);
+  }
+
+  // Dual-stack identification: group observed sources by PTR name; a name
+  // seen from both families is one dual-stack host.
+  auto groups = rdns.GroupByPtrName(facebook_sources);
+  std::map<std::string, std::size_t> dual_per_site;
+  for (const auto& [name, addresses] : groups) {
+    bool v4 = false, v6 = false;
+    for (const auto& address : addresses) {
+      (address.is_v4() ? v4 : v6) = true;
+    }
+    if (v4 && v6) {
+      auto parsed = dns::Name::Parse(name);
+      if (parsed) {
+        if (auto site = SiteTagFromPtr(*parsed)) ++dual_per_site[*site];
+      }
+    }
+  }
+
+  std::vector<FacebookSiteStats> stats;
+  for (auto& [site, acc] : sites) {
+    FacebookSiteStats row;
+    row.site = site;
+    row.queries = acc.queries;
+    row.v6_share = acc.queries == 0
+                       ? 0
+                       : static_cast<double>(acc.v6) /
+                             static_cast<double>(acc.queries);
+    auto median = [](std::vector<double>& values) -> std::optional<double> {
+      if (values.empty()) return std::nullopt;
+      entrada::Cdf cdf;
+      for (double v : values) cdf.Add(v);
+      return cdf.Median();
+    };
+    row.median_rtt_v4_ms = median(acc.tcp_rtt_v4_ms);
+    row.median_rtt_v6_ms = median(acc.tcp_rtt_v6_ms);
+    row.dual_stack_hosts = dual_per_site[site];
+    stats.push_back(std::move(row));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const FacebookSiteStats& a, const FacebookSiteStats& b) {
+              return a.queries > b.queries;
+            });
+  return stats;
+}
+
+EdnsStats ComputeEdnsStats(const cloud::ScenarioResult& result,
+                           cloud::Provider provider) {
+  EdnsStats stats;
+  auto filter = FilterProvider(result, provider);
+  auto udp_with_edns = entrada::And(
+      filter, [](const capture::CaptureRecord& r) {
+        return r.transport == dns::Transport::kUdp && r.has_edns;
+      });
+  entrada::Cdf cdf = entrada::CollectCdf(
+      result.records,
+      [](const capture::CaptureRecord& r) -> std::optional<double> {
+        return static_cast<double>(r.edns_udp_size);
+      },
+      udp_with_edns);
+  stats.fraction_at_512 = cdf.FractionAtOrBelow(512);
+  stats.fraction_up_to_1232 = cdf.FractionAtOrBelow(1232);
+  stats.cdf = cdf.Curve();
+
+  std::uint64_t udp = entrada::CountIf(
+      result.records, entrada::And(filter, entrada::FilterTransport(
+                                               dns::Transport::kUdp)));
+  std::uint64_t truncated = entrada::CountIf(
+      result.records,
+      entrada::And(filter, [](const capture::CaptureRecord& r) {
+        return r.transport == dns::Transport::kUdp && r.tc;
+      }));
+  stats.truncated_udp =
+      udp == 0 ? 0 : static_cast<double>(truncated) / static_cast<double>(udp);
+  return stats;
+}
+
+}  // namespace clouddns::analysis

@@ -1,0 +1,47 @@
+// Reverse-DNS database built from a scenario's PTR records and served out
+// of real in-addr.arpa / ip6.arpa zones — the analysis-side half of the
+// paper's §4.3 methodology (reverse-lookup every resolver address, then
+// match v4/v6 addresses whose PTR names coincide to find dual-stack hosts).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "net/ip.h"
+#include "zone/zone.h"
+
+namespace clouddns::analysis {
+
+class RdnsDatabase {
+ public:
+  explicit RdnsDatabase(
+      const std::vector<std::pair<net::IpAddress, dns::Name>>& ptr_records);
+
+  /// PTR lookup through the arpa zones (nullopt = NXDOMAIN).
+  [[nodiscard]] std::optional<dns::Name> Lookup(
+      const net::IpAddress& address) const;
+
+  [[nodiscard]] std::size_t record_count() const { return count_; }
+
+  /// Hosts grouped by identical PTR target name: the dual-stack matching
+  /// step. Key is the lowercased PTR name; values are the addresses whose
+  /// reverse lookup produced it.
+  [[nodiscard]] std::unordered_map<std::string, std::vector<net::IpAddress>>
+  GroupByPtrName(const std::vector<net::IpAddress>& addresses) const;
+
+ private:
+  zone::Zone v4_zone_;
+  zone::Zone v6_zone_;
+  std::size_t count_ = 0;
+};
+
+/// Extracts the site tag from a Facebook-style PTR name
+/// ("edge-dns-x-y-z-w.ams.tfbnw.example" -> "ams"): the label right above
+/// the provider domain, i.e. the third label from the end of the name
+/// minus the "example" suffix. Returns nullopt for non-conforming names.
+[[nodiscard]] std::optional<std::string> SiteTagFromPtr(const dns::Name& ptr);
+
+}  // namespace clouddns::analysis

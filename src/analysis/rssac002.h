@@ -1,0 +1,52 @@
+// RSSAC002-style daily metrics.
+//
+// Root server operators publish standardized daily measurement files
+// (RSSAC002: traffic volume, rcode volume, unique sources, traffic sizes);
+// §3 of the paper derives root-wide valid-query ratios from them. This
+// module computes the same metrics from a capture stream and renders them
+// in the YAML-like layout the published files use, so our B-Root vantage
+// can be compared against the real feeds' structure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capture/record.h"
+
+namespace clouddns::analysis {
+
+struct Rssac002Day {
+  std::string date;  ///< "2020-05-06"
+  std::uint64_t queries = 0;
+  std::map<std::string, std::uint64_t> rcode_volume;
+  std::uint64_t udp_queries = 0;
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t ipv4_queries = 0;
+  std::uint64_t ipv6_queries = 0;
+  /// Exact transport x family cells, as the published files report them.
+  std::uint64_t udp_ipv4 = 0, udp_ipv6 = 0, tcp_ipv4 = 0, tcp_ipv6 = 0;
+  std::uint64_t unique_sources_ipv4 = 0;
+  std::uint64_t unique_sources_ipv6 = 0;
+  double average_query_size = 0;
+  double average_response_size = 0;
+
+  [[nodiscard]] double ValidRatio() const {
+    auto it = rcode_volume.find("NOERROR");
+    return queries == 0 || it == rcode_volume.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(queries);
+  }
+};
+
+/// One entry per UTC day present in the capture, ascending.
+[[nodiscard]] std::vector<Rssac002Day> Rssac002Report(
+    const capture::CaptureBuffer& records);
+
+/// Renders a day in the published files' YAML layout.
+[[nodiscard]] std::string RenderRssac002Yaml(const Rssac002Day& day,
+                                             const std::string& service);
+
+}  // namespace clouddns::analysis

@@ -1,0 +1,35 @@
+// Prefix-preserving source-address anonymization (Crypto-PAn style).
+//
+// ENTRADA deployments must strip personal data before retaining traces;
+// the standard approach keeps analyses working by preserving prefix
+// structure: two addresses share an n-bit prefix after anonymization iff
+// they shared an n-bit prefix before. Longest-prefix-match enrichment
+// (AS attribution) then still groups the same sources together after the
+// routing table itself is mapped through the same anonymizer.
+#pragma once
+
+#include <cstdint>
+
+#include "capture/record.h"
+
+namespace clouddns::capture {
+
+class Anonymizer {
+ public:
+  /// Deterministic for a given key; different keys give unrelated mappings.
+  explicit Anonymizer(std::uint64_t key) : key_(key) {}
+
+  /// Prefix-preserving one-to-one mapping within each address family.
+  [[nodiscard]] net::IpAddress Anonymize(const net::IpAddress& address) const;
+
+  /// Copies `records` with every source address anonymized.
+  [[nodiscard]] CaptureBuffer AnonymizeCapture(
+      const CaptureBuffer& records) const;
+
+ private:
+  [[nodiscard]] bool FlipBit(std::uint64_t prefix_hash) const;
+
+  std::uint64_t key_;
+};
+
+}  // namespace clouddns::capture

@@ -1,0 +1,382 @@
+#include "capture/columnar.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "capture/varint.h"
+
+namespace clouddns::capture {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43444e53;  // "CDNS"
+constexpr std::uint32_t kVersion = 1;
+
+enum ColumnId : std::uint8_t {
+  kColTime = 0,
+  kColServer = 1,
+  kColSite = 2,
+  kColSrcDict = 3,
+  kColSrcIndex = 4,
+  kColPort = 5,
+  kColFlags = 6,  // transport | has_edns | do_bit | tc packed per record
+  kColQnameDict = 7,
+  kColQnameIndex = 8,
+  kColQtype = 9,
+  kColRcode = 10,
+  kColEdnsSize = 11,
+  kColQuerySize = 12,
+  kColResponseSize = 13,
+  kColTcpRtt = 14,
+  kColumnCount = 15,
+};
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint32_t> GetU32(const std::vector<std::uint8_t>& in,
+                                    std::size_t& pos) {
+  if (pos + 4 > in.size()) return std::nullopt;
+  std::uint32_t v = (static_cast<std::uint32_t>(in[pos]) << 24) |
+                    (static_cast<std::uint32_t>(in[pos + 1]) << 16) |
+                    (static_cast<std::uint32_t>(in[pos + 2]) << 8) |
+                    static_cast<std::uint32_t>(in[pos + 3]);
+  pos += 4;
+  return v;
+}
+
+void PutAddress(std::vector<std::uint8_t>& out, const net::IpAddress& addr) {
+  if (addr.is_v4()) {
+    out.push_back(4);
+    auto bytes = addr.v4().ToBytes();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  } else {
+    out.push_back(6);
+    const auto& bytes = addr.v6().bytes();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+}
+
+std::optional<net::IpAddress> GetAddress(const std::vector<std::uint8_t>& in,
+                                         std::size_t& pos) {
+  if (pos >= in.size()) return std::nullopt;
+  std::uint8_t family = in[pos++];
+  if (family == 4) {
+    if (pos + 4 > in.size()) return std::nullopt;
+    std::array<std::uint8_t, 4> bytes{in[pos], in[pos + 1], in[pos + 2],
+                                      in[pos + 3]};
+    pos += 4;
+    return net::IpAddress(net::Ipv4Address::FromBytes(bytes));
+  }
+  if (family == 6) {
+    if (pos + 16 > in.size()) return std::nullopt;
+    net::Ipv6Address::Bytes bytes;
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(pos),
+              in.begin() + static_cast<std::ptrdiff_t>(pos + 16),
+              bytes.begin());
+    pos += 16;
+    return net::IpAddress(net::Ipv6Address(bytes));
+  }
+  return std::nullopt;
+}
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutVarint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::optional<std::string> GetString(const std::vector<std::uint8_t>& in,
+                                     std::size_t& pos) {
+  auto len = GetVarint(in, pos);
+  if (!len || pos + *len > in.size()) return std::nullopt;
+  std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                in.begin() + static_cast<std::ptrdiff_t>(pos + *len));
+  pos += *len;
+  return s;
+}
+
+std::uint8_t PackFlags(const CaptureRecord& r) {
+  std::uint8_t flags = 0;
+  if (r.transport == dns::Transport::kTcp) flags |= 1;
+  if (r.has_edns) flags |= 2;
+  if (r.do_bit) flags |= 4;
+  if (r.tc) flags |= 8;
+  return flags;
+}
+
+void UnpackFlags(std::uint8_t flags, CaptureRecord& r) {
+  r.transport = (flags & 1) ? dns::Transport::kTcp : dns::Transport::kUdp;
+  r.has_edns = flags & 2;
+  r.do_bit = flags & 4;
+  r.tc = flags & 8;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeColumnar(const CaptureBuffer& records) {
+  std::vector<std::uint8_t> columns[kColumnCount];
+
+  // Dictionaries.
+  std::unordered_map<net::IpAddress, std::uint64_t, net::IpAddressHash>
+      src_dict;
+  std::vector<const net::IpAddress*> src_order;
+  std::unordered_map<std::string, std::uint64_t> qname_dict;
+  std::vector<const dns::Name*> qname_order;
+
+  std::int64_t prev_time = 0;
+  for (const CaptureRecord& r : records) {
+    PutVarint(columns[kColTime],
+              ZigzagEncode(static_cast<std::int64_t>(r.time_us) - prev_time));
+    prev_time = static_cast<std::int64_t>(r.time_us);
+    PutVarint(columns[kColServer], r.server_id);
+    PutVarint(columns[kColSite], r.site_id);
+
+    auto [src_it, src_new] = src_dict.try_emplace(r.src, src_dict.size());
+    if (src_new) src_order.push_back(&src_it->first);
+    PutVarint(columns[kColSrcIndex], src_it->second);
+
+    PutVarint(columns[kColPort], r.src_port);
+    columns[kColFlags].push_back(PackFlags(r));
+
+    auto [q_it, q_new] = qname_dict.try_emplace(r.qname.ToKey(),
+                                                qname_dict.size());
+    if (q_new) qname_order.push_back(&r.qname);
+    PutVarint(columns[kColQnameIndex], q_it->second);
+
+    PutVarint(columns[kColQtype], static_cast<std::uint16_t>(r.qtype));
+    PutVarint(columns[kColRcode], static_cast<std::uint8_t>(r.rcode));
+    PutVarint(columns[kColEdnsSize], r.edns_udp_size);
+    PutVarint(columns[kColQuerySize], r.query_size);
+    PutVarint(columns[kColResponseSize], r.response_size);
+    PutVarint(columns[kColTcpRtt], r.tcp_handshake_rtt_us);
+  }
+
+  PutVarint(columns[kColSrcDict], src_order.size());
+  for (const auto* addr : src_order) PutAddress(columns[kColSrcDict], *addr);
+  PutVarint(columns[kColQnameDict], qname_order.size());
+  for (const auto* name : qname_order) {
+    PutString(columns[kColQnameDict], name->ToString());
+  }
+
+  std::vector<std::uint8_t> out;
+  PutU32(out, kMagic);
+  PutU32(out, kVersion);
+  PutVarint(out, records.size());
+  for (std::uint8_t id = 0; id < kColumnCount; ++id) {
+    out.push_back(id);
+    PutVarint(out, columns[id].size());
+    out.insert(out.end(), columns[id].begin(), columns[id].end());
+  }
+  return out;
+}
+
+std::optional<CaptureBuffer> DecodeColumnar(
+    const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  auto magic = GetU32(bytes, pos);
+  auto version = GetU32(bytes, pos);
+  if (!magic || *magic != kMagic || !version || *version != kVersion) {
+    return std::nullopt;
+  }
+  auto count = GetVarint(bytes, pos);
+  if (!count) return std::nullopt;
+
+  std::vector<std::uint8_t> columns[kColumnCount];
+  bool seen[kColumnCount] = {};
+  while (pos < bytes.size()) {
+    std::uint8_t id = bytes[pos++];
+    auto len = GetVarint(bytes, pos);
+    if (!len || pos + *len > bytes.size()) return std::nullopt;
+    if (id >= kColumnCount || seen[id]) return std::nullopt;
+    seen[id] = true;
+    columns[id].assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(pos + *len));
+    pos += *len;
+  }
+  for (bool s : seen) {
+    if (!s) return std::nullopt;
+  }
+
+  // Dictionaries first.
+  std::vector<net::IpAddress> src_dict;
+  {
+    std::size_t p = 0;
+    auto n = GetVarint(columns[kColSrcDict], p);
+    if (!n) return std::nullopt;
+    src_dict.reserve(*n);
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      auto addr = GetAddress(columns[kColSrcDict], p);
+      if (!addr) return std::nullopt;
+      src_dict.push_back(*addr);
+    }
+  }
+  std::vector<dns::Name> qname_dict;
+  {
+    std::size_t p = 0;
+    auto n = GetVarint(columns[kColQnameDict], p);
+    if (!n) return std::nullopt;
+    qname_dict.reserve(*n);
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      auto text = GetString(columns[kColQnameDict], p);
+      if (!text) return std::nullopt;
+      auto name = dns::Name::Parse(*text);
+      if (!name) return std::nullopt;
+      qname_dict.push_back(std::move(*name));
+    }
+  }
+
+  CaptureBuffer records;
+  records.reserve(*count);
+  std::size_t cursor[kColumnCount] = {};
+  std::int64_t prev_time = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    CaptureRecord r;
+    auto time_delta = GetVarint(columns[kColTime], cursor[kColTime]);
+    auto server = GetVarint(columns[kColServer], cursor[kColServer]);
+    auto site = GetVarint(columns[kColSite], cursor[kColSite]);
+    auto src_index = GetVarint(columns[kColSrcIndex], cursor[kColSrcIndex]);
+    auto port = GetVarint(columns[kColPort], cursor[kColPort]);
+    auto qname_index =
+        GetVarint(columns[kColQnameIndex], cursor[kColQnameIndex]);
+    auto qtype = GetVarint(columns[kColQtype], cursor[kColQtype]);
+    auto rcode = GetVarint(columns[kColRcode], cursor[kColRcode]);
+    auto edns = GetVarint(columns[kColEdnsSize], cursor[kColEdnsSize]);
+    auto qsize = GetVarint(columns[kColQuerySize], cursor[kColQuerySize]);
+    auto rsize =
+        GetVarint(columns[kColResponseSize], cursor[kColResponseSize]);
+    auto rtt = GetVarint(columns[kColTcpRtt], cursor[kColTcpRtt]);
+    if (!time_delta || !server || !site || !src_index || !port ||
+        !qname_index || !qtype || !rcode || !edns || !qsize || !rsize ||
+        !rtt) {
+      return std::nullopt;
+    }
+    if (cursor[kColFlags] >= columns[kColFlags].size()) return std::nullopt;
+    if (*src_index >= src_dict.size() || *qname_index >= qname_dict.size()) {
+      return std::nullopt;
+    }
+
+    prev_time += ZigzagDecode(*time_delta);
+    r.time_us = static_cast<sim::TimeUs>(prev_time);
+    r.server_id = static_cast<std::uint32_t>(*server);
+    r.site_id = static_cast<std::uint32_t>(*site);
+    r.src = src_dict[*src_index];
+    r.src_port = static_cast<std::uint16_t>(*port);
+    UnpackFlags(columns[kColFlags][cursor[kColFlags]++], r);
+    r.qname = qname_dict[*qname_index];
+    r.qtype = static_cast<dns::RrType>(*qtype);
+    r.rcode = static_cast<dns::Rcode>(*rcode);
+    r.edns_udp_size = static_cast<std::uint16_t>(*edns);
+    r.query_size = static_cast<std::uint16_t>(*qsize);
+    r.response_size = static_cast<std::uint16_t>(*rsize);
+    r.tcp_handshake_rtt_us = static_cast<std::uint32_t>(*rtt);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> EncodeRowWise(const CaptureBuffer& records) {
+  std::vector<std::uint8_t> out;
+  PutU32(out, kMagic);
+  PutU32(out, kVersion + 0x100);  // distinct row-wise version tag
+  PutVarint(out, records.size());
+  for (const CaptureRecord& r : records) {
+    PutVarint(out, r.time_us);
+    PutVarint(out, r.server_id);
+    PutVarint(out, r.site_id);
+    PutAddress(out, r.src);
+    PutVarint(out, r.src_port);
+    out.push_back(PackFlags(r));
+    PutString(out, r.qname.ToString());
+    PutVarint(out, static_cast<std::uint16_t>(r.qtype));
+    PutVarint(out, static_cast<std::uint8_t>(r.rcode));
+    PutVarint(out, r.edns_udp_size);
+    PutVarint(out, r.query_size);
+    PutVarint(out, r.response_size);
+    PutVarint(out, r.tcp_handshake_rtt_us);
+  }
+  return out;
+}
+
+std::optional<CaptureBuffer> DecodeRowWise(
+    const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  auto magic = GetU32(bytes, pos);
+  auto version = GetU32(bytes, pos);
+  if (!magic || *magic != kMagic || !version || *version != kVersion + 0x100) {
+    return std::nullopt;
+  }
+  auto count = GetVarint(bytes, pos);
+  if (!count) return std::nullopt;
+  CaptureBuffer records;
+  records.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    CaptureRecord r;
+    auto time = GetVarint(bytes, pos);
+    auto server = GetVarint(bytes, pos);
+    auto site = GetVarint(bytes, pos);
+    if (!time || !server || !site) return std::nullopt;
+    auto src = GetAddress(bytes, pos);
+    auto port = GetVarint(bytes, pos);
+    if (!src || !port || pos >= bytes.size()) return std::nullopt;
+    std::uint8_t flags = bytes[pos++];
+    auto qname_text = GetString(bytes, pos);
+    if (!qname_text) return std::nullopt;
+    auto qname = dns::Name::Parse(*qname_text);
+    if (!qname) return std::nullopt;
+    auto qtype = GetVarint(bytes, pos);
+    auto rcode = GetVarint(bytes, pos);
+    auto edns = GetVarint(bytes, pos);
+    auto qsize = GetVarint(bytes, pos);
+    auto rsize = GetVarint(bytes, pos);
+    auto rtt = GetVarint(bytes, pos);
+    if (!qtype || !rcode || !edns || !qsize || !rsize || !rtt) {
+      return std::nullopt;
+    }
+    r.time_us = *time;
+    r.server_id = static_cast<std::uint32_t>(*server);
+    r.site_id = static_cast<std::uint32_t>(*site);
+    r.src = *src;
+    r.src_port = static_cast<std::uint16_t>(*port);
+    UnpackFlags(flags, r);
+    r.qname = std::move(*qname);
+    r.qtype = static_cast<dns::RrType>(*qtype);
+    r.rcode = static_cast<dns::Rcode>(*rcode);
+    r.edns_udp_size = static_cast<std::uint16_t>(*edns);
+    r.query_size = static_cast<std::uint16_t>(*qsize);
+    r.response_size = static_cast<std::uint16_t>(*rsize);
+    r.tcp_handshake_rtt_us = static_cast<std::uint32_t>(*rtt);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+bool WriteCaptureFile(const std::string& path, const CaptureBuffer& records) {
+  std::vector<std::uint8_t> bytes = EncodeColumnar(records);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  return written == bytes.size();
+}
+
+std::optional<CaptureBuffer> ReadCaptureFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(file);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  std::size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (read != bytes.size()) return std::nullopt;
+  return DecodeColumnar(bytes);
+}
+
+}  // namespace clouddns::capture

@@ -1,0 +1,41 @@
+// The per-query capture record — our equivalent of ENTRADA's flattened
+// pcap row. One record is written at the authoritative server for every
+// query/response pair; the analytics layer consumes streams of these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/ip.h"
+#include "sim/clock.h"
+
+namespace clouddns::capture {
+
+struct CaptureRecord {
+  sim::TimeUs time_us = 0;          ///< Query arrival at the server.
+  std::uint32_t server_id = 0;      ///< Which authoritative NS (e.g. "A"=0).
+  std::uint32_t site_id = 0;        ///< Anycast site that caught the query.
+  net::IpAddress src;               ///< Resolver source address.
+  std::uint16_t src_port = 0;
+  dns::Transport transport = dns::Transport::kUdp;
+  dns::Name qname;
+  dns::RrType qtype = dns::RrType::kA;
+  dns::Rcode rcode = dns::Rcode::kNoError;  ///< Response RCODE.
+  bool has_edns = false;
+  std::uint16_t edns_udp_size = 0;  ///< EDNS(0) advertised size, 0 if none.
+  bool do_bit = false;
+  bool tc = false;                  ///< Response was truncated.
+  std::uint16_t query_size = 0;     ///< Wire bytes of the query.
+  std::uint16_t response_size = 0;  ///< Wire bytes of the response.
+  std::uint32_t tcp_handshake_rtt_us = 0;  ///< 0 for UDP.
+
+  friend bool operator==(const CaptureRecord&, const CaptureRecord&) = default;
+};
+
+/// An in-memory capture stream; what a week of pcap becomes after ENTRADA
+/// ingestion. Deliberately a plain vector: the analytics engine scans it.
+using CaptureBuffer = std::vector<CaptureRecord>;
+
+}  // namespace clouddns::capture

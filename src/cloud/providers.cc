@@ -1,0 +1,258 @@
+#include "cloud/providers.h"
+
+#include <stdexcept>
+
+namespace clouddns::cloud {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::Parse(text); }
+
+std::vector<ProviderNetwork> BuildNetworks() {
+  std::vector<ProviderNetwork> networks;
+
+  // Paper Table 1. Address blocks are representative public allocations of
+  // each organization (the exact block identities are immaterial — only the
+  // prefix->AS mapping the enrichment step performs matters).
+  {
+    ProviderNetwork google;
+    google.provider = Provider::kGoogle;
+    google.ases = {15169};
+    google.runs_public_dns = true;
+    google.v4_blocks = {P("8.8.8.0/24"), P("8.8.4.0/24"),
+                        P("172.217.32.0/20"), P("74.125.16.0/20")};
+    google.v6_blocks = {P("2001:4860:1000::/36")};
+    // developers.google.com/speed/public-dns ranges (Table 4 methodology).
+    google.public_dns_blocks = {P("8.8.8.0/24"), P("8.8.4.0/24"),
+                                P("2001:4860:4860::/48")};
+    networks.push_back(std::move(google));
+  }
+  {
+    ProviderNetwork amazon;
+    amazon.provider = Provider::kAmazon;
+    amazon.ases = {7224, 8987, 9059, 14168, 16509};
+    amazon.v4_blocks = {P("52.95.0.0/16"), P("54.240.0.0/18"),
+                        P("176.32.104.0/21"), P("13.248.96.0/19"),
+                        P("99.77.128.0/18")};
+    amazon.v6_blocks = {P("2600:1f00::/28"), P("2a05:d000::/27")};
+    networks.push_back(std::move(amazon));
+  }
+  {
+    ProviderNetwork microsoft;
+    microsoft.provider = Provider::kMicrosoft;
+    microsoft.ases = {3598, 6584, 8068, 8069, 8070, 8071, 8072,
+                      8073, 8074, 8075, 12076, 23468};
+    microsoft.v4_blocks = {P("40.76.0.0/14"), P("13.64.0.0/16"),
+                           P("104.40.0.0/17"), P("65.52.0.0/19"),
+                           P("131.253.21.0/24"), P("157.56.0.0/16")};
+    microsoft.v6_blocks = {P("2603:1000::/25"), P("2a01:110::/31")};
+    networks.push_back(std::move(microsoft));
+  }
+  {
+    ProviderNetwork facebook;
+    facebook.provider = Provider::kFacebook;
+    facebook.ases = {32934};
+    facebook.v4_blocks = {P("66.220.144.0/20"), P("69.171.224.0/19"),
+                          P("157.240.0.0/17")};
+    facebook.v6_blocks = {P("2a03:2880::/32")};
+    networks.push_back(std::move(facebook));
+  }
+  {
+    ProviderNetwork cloudflare;
+    cloudflare.provider = Provider::kCloudflare;
+    cloudflare.ases = {13335};
+    cloudflare.runs_public_dns = true;
+    cloudflare.v4_blocks = {P("108.162.192.0/18"), P("172.68.0.0/16"),
+                            P("162.158.0.0/16")};
+    cloudflare.v6_blocks = {P("2400:cb00::/32")};
+    cloudflare.public_dns_blocks = {P("1.1.1.0/24"), P("1.0.0.0/24")};
+    networks.push_back(std::move(cloudflare));
+  }
+  return networks;
+}
+
+const std::vector<ProviderNetwork>& Networks() {
+  static const std::vector<ProviderNetwork> networks = BuildNetworks();
+  return networks;
+}
+
+const char* OrgName(Provider provider) {
+  switch (provider) {
+    case Provider::kGoogle: return "GOOGLE";
+    case Provider::kAmazon: return "AMAZON";
+    case Provider::kMicrosoft: return "MICROSOFT";
+    case Provider::kFacebook: return "FACEBOOK";
+    case Provider::kCloudflare: return "CLOUDFLARE";
+    case Provider::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view ToString(Provider provider) { return OrgName(provider); }
+
+const std::vector<Provider>& MeasuredProviders() {
+  static const std::vector<Provider> providers = {
+      Provider::kGoogle, Provider::kAmazon, Provider::kMicrosoft,
+      Provider::kFacebook, Provider::kCloudflare};
+  return providers;
+}
+
+const ProviderNetwork& NetworkOf(Provider provider) {
+  for (const auto& network : Networks()) {
+    if (network.provider == provider) return network;
+  }
+  throw std::invalid_argument("NetworkOf: no network for provider");
+}
+
+void RegisterProviderAses(net::AsDatabase& asdb) {
+  for (const auto& network : Networks()) {
+    for (net::Asn asn : network.ases) {
+      asdb.AddAs(asn, OrgName(network.provider));
+    }
+    // Spread the blocks round-robin over the provider's ASes (Amazon and
+    // Microsoft announce from many ASes; which block maps to which AS is
+    // irrelevant for provider-level aggregation).
+    std::size_t i = 0;
+    for (const auto& block : network.v4_blocks) {
+      asdb.Announce(block, network.ases[i++ % network.ases.size()]);
+    }
+    for (const auto& block : network.v6_blocks) {
+      asdb.Announce(block, network.ases[i++ % network.ases.size()]);
+    }
+    // Public-service ranges are announced too (they may be more-specifics
+    // of the blocks above or standalone allocations like 1.1.1.0/24).
+    for (const auto& block : network.public_dns_blocks) {
+      asdb.Announce(block, network.ases.front());
+    }
+  }
+}
+
+ProviderProfile ProfileFor(Provider provider, int year) {
+  ProviderProfile profile;
+  profile.provider = provider;
+  profile.year = year;
+  const int yi = year - 2018;  // 0, 1, 2
+  if (yi < 0 || yi > 2) {
+    throw std::invalid_argument("ProfileFor: year out of study range");
+  }
+  auto pick = [yi](double y2018, double y2019, double y2020) {
+    return yi == 0 ? y2018 : (yi == 1 ? y2019 : y2020);
+  };
+
+  switch (provider) {
+    case Provider::kGoogle:
+      // Table 5: v4/v6 0.66/0.34 -> 0.49/0.51 -> 0.52/0.48; pure UDP.
+      profile.engines = 10;
+      profile.hosts_per_engine = 2400;  // ~24k sources (Table 4: 23943)
+      profile.dual_stack_fraction = pick(0.56, 1.0, 0.96);
+      profile.v6_bias = pick(1.0, 1.08, 1.0);
+      profile.validate_dnssec = true;
+      // §4.2.1: Q-min confirmed deployed Dec 2019.
+      profile.qname_minimization = true;
+      profile.qmin_enabled_at =
+          sim::TimeFromCivil({2019, 12, 10});
+      // Fig. 6: ~24% of queries at sizes <= 1232, none at 512.
+      profile.edns_sizes = {{1232, 0.24}, {4096, 0.76}};
+      // §4.2.3: aggressive NSEC caching plausibly deployed by 2020.
+      profile.aggressive_nsec = yi == 2;
+      profile.root_junk_multiplier = pick(0.05, 0.20, 0.45);
+      profile.junk_fraction = pick(0.115, 0.12, 0.09);  // Fig. 4
+      profile.client_weight = 22.0;  // Fig. 1: largest CP share
+      break;
+
+    case Provider::kAmazon:
+      // Table 5: essentially v4; TCP grows 0 -> 0.02-0.04 -> 0.05.
+      profile.engines = 60;  // many independent VPC resolvers
+      profile.hosts_per_engine = 640;  // ~38k sources (Table 6: 38317)
+      profile.dual_stack_fraction = pick(0.0, 0.04, 0.07);
+      profile.v6_bias = 1.3;
+      profile.validate_dnssec = true;
+      // §4.2.1: NS growth seen for Amazon (clearly in .nz) only in 2020;
+      // modelled as a partial engine rollout.
+      profile.qname_minimization = yi == 2;
+      profile.qmin_engine_fraction = 0.35;
+      profile.edns_sizes = yi == 0
+                               ? std::vector<std::pair<std::uint16_t, double>>{
+                                     {4096, 1.0}}
+                               : std::vector<std::pair<std::uint16_t, double>>{
+                                     {512, pick(0.0, 0.05, 0.10)},
+                                     {4096, pick(1.0, 0.95, 0.90)}};
+      profile.junk_fraction = pick(0.10, 0.09, 0.06);
+      profile.root_junk_multiplier = 0.10;
+      profile.client_weight = 5.0;
+      break;
+
+    case Provider::kMicrosoft:
+      // Table 5: 100% IPv4, 100% UDP, all three years; the one CP with no
+      // DNSSEC validation (§4.2.2).
+      profile.engines = 20;
+      profile.hosts_per_engine = 720;  // ~14.5k sources (Table 6)
+      profile.dual_stack_fraction = 0.05;  // 3% v6 sources, ~0 v6 traffic
+      profile.v6_bias = 0.02;
+      profile.validate_dnssec = false;
+      profile.qname_minimization = false;
+      profile.edns_sizes = {{1232, 0.30}, {4096, 0.70}};
+      profile.junk_fraction = pick(0.13, 0.12, 0.10);
+      profile.root_junk_multiplier = 0.10;
+      profile.client_weight = 6.3;
+      break;
+
+    case Provider::kFacebook:
+      // Table 5: v6-majority since 2019; the only CP with material TCP
+      // (0.21 -> 0.15 -> 0.14 for .nl). Fig. 6: ~30% of its UDP queries
+      // advertise EDNS 512.
+      profile.engines = 13;  // one backend per site (Fig. 5)
+      profile.hosts_per_engine = 800;
+      profile.dual_stack_fraction = 1.0;
+      profile.v6_bias = pick(1.0, 5.5, 5.5);
+      profile.validate_dnssec = true;
+      profile.qname_minimization = yi == 2;  // NS growth visible in 2020
+      profile.edns_sizes = {{512, pick(0.42, 0.31, 0.30)},
+                            {1232, 0.20},
+                            {4096, pick(0.38, 0.49, 0.50)}};
+      profile.junk_fraction = pick(0.05, 0.045, 0.035);
+      profile.root_junk_multiplier = 0.03;
+      profile.client_weight = 3.3;
+      break;
+
+    case Provider::kCloudflare:
+      // Table 5: even v4/v6, ~pure UDP. §4.2.2: the exemplary validator
+      // (more DS than DNSKEY queries). Q-min from launch.
+      profile.explicit_ds = true;
+      profile.engines = 12;
+      profile.hosts_per_engine = 330;
+      profile.dual_stack_fraction = 1.0;
+      profile.v6_bias = pick(0.85, 0.8, 1.02);
+      profile.validate_dnssec = true;
+      profile.qname_minimization = true;
+      profile.edns_sizes = {{512, pick(0.0, 0.01, 0.02)},
+                            {1232, 0.88},
+                            {4096, pick(0.12, 0.11, 0.10)}};
+      profile.junk_fraction = pick(0.09, 0.14, 0.07);
+      profile.aggressive_nsec = yi == 2;
+      profile.root_junk_multiplier = pick(0.15, 0.40, 0.55);
+      profile.client_weight = 2.3;
+      break;
+
+    case Provider::kOther:
+      // Baseline for the ~37k other ASes; the fleet builder perturbs this
+      // per engine. Validation and q-min adoption grow over the years
+      // (global q-min was measured at 33-40% of queries in 2019 [13]).
+      profile.engines = 1;
+      profile.hosts_per_engine = 4;
+      profile.dual_stack_fraction = pick(0.20, 0.25, 0.30);
+      profile.validate_dnssec = false;
+      profile.qname_minimization = false;
+      profile.edns_sizes = {{0, 0.05},
+                            {512, 0.12},
+                            {1232, 0.28},
+                            {4096, 0.55}};
+      profile.junk_fraction = 0.17;
+      profile.client_weight = 70.0;  // Fig. 1: ~2/3 of ccTLD traffic
+      break;
+  }
+  return profile;
+}
+
+}  // namespace clouddns::cloud

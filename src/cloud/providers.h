@@ -1,0 +1,105 @@
+// The five cloud/content providers of the study (paper Table 1), their
+// autonomous systems and address blocks, and per-year behaviour profiles
+// transcribed from the paper's measurements (Tables 4-6, Figures 2-6).
+//
+// The profiles are *inputs to the mechanism*, not outputs: e.g. we set
+// "Facebook: 30% of frontends advertise EDNS 512" (Fig. 6) and the 17%
+// truncation / 14% TCP shares must then EMERGE from resolver+server logic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asdb.h"
+#include "sim/clock.h"
+
+namespace clouddns::cloud {
+
+enum class Provider {
+  kGoogle,
+  kAmazon,
+  kMicrosoft,
+  kFacebook,
+  kCloudflare,
+  kOther,
+};
+
+[[nodiscard]] std::string_view ToString(Provider provider);
+
+/// All five measured providers, in the paper's Table 1 order.
+[[nodiscard]] const std::vector<Provider>& MeasuredProviders();
+
+struct ProviderNetwork {
+  Provider provider = Provider::kOther;
+  std::vector<net::Asn> ases;              ///< Paper Table 1.
+  bool runs_public_dns = false;
+  /// Address blocks the provider's resolvers egress from; the fleet
+  /// builder mints host addresses inside these.
+  std::vector<net::Prefix> v4_blocks;
+  std::vector<net::Prefix> v6_blocks;
+  /// Blocks advertised as the *public DNS service* (Google: the ranges in
+  /// its published FAQ). Subset of the blocks above. Used by Table 4.
+  std::vector<net::Prefix> public_dns_blocks;
+};
+
+[[nodiscard]] const ProviderNetwork& NetworkOf(Provider provider);
+
+/// Registers every provider AS + announcement into an AS database.
+void RegisterProviderAses(net::AsDatabase& asdb);
+
+/// Behaviour profile for one provider in one capture year.
+struct ProviderProfile {
+  Provider provider = Provider::kOther;
+  int year = 2020;
+
+  /// Number of resolver backends (shared caches) and frontends per backend
+  /// at full scale; the fleet builder multiplies by the scenario scale.
+  std::size_t engines = 4;
+  std::size_t hosts_per_engine = 400;
+
+  /// Fraction of frontends that are dual-stack (v4+v6). Together with the
+  /// per-site RTT preference this determines the Table 5/6 v4:v6 splits.
+  double dual_stack_fraction = 0.0;
+
+  /// Multiplier on the IPv6 side of the dual-stack preference (1.0 =
+  /// purely RTT-driven). Encodes operator policy like Facebook's
+  /// "prefer v6 when not slower".
+  double v6_bias = 1.0;
+
+  bool validate_dnssec = false;
+  /// Explicit DS probing at the parent (Cloudflare's signature, Fig. 2d).
+  bool explicit_ds = false;
+  /// Aggressive NSEC caching (RFC 8198); §4.2.3 links its deployment to
+  /// the 2020 drop in cloud junk at the root.
+  bool aggressive_nsec = false;
+  /// How much of the Chromium-style random-name junk flows through this
+  /// provider's resolvers. ISP resolvers (kOther) carry the browser
+  /// population (1.0); datacenter fleets see mostly machine junk.
+  double root_junk_multiplier = 1.0;
+  bool qname_minimization = false;
+  /// When q-min switches on (0 = since before the window). Google:
+  /// Dec 2019 (§4.2.1).
+  sim::TimeUs qmin_enabled_at = 0;
+  /// Fraction of engines that run q-min at all (Amazon's partial rollout).
+  double qmin_engine_fraction = 1.0;
+
+  /// Distribution of advertised EDNS(0) sizes across frontends:
+  /// {size, weight}. size 0 = no EDNS. Drives Fig. 6 and the TCP shares.
+  std::vector<std::pair<std::uint16_t, double>> edns_sizes;
+
+  /// Client-workload shaping (see workload.h): share of client queries
+  /// that target names that do not exist (junk, Fig. 4).
+  double junk_fraction = 0.06;
+
+  /// Relative client-query load this provider's fleet receives; calibrated
+  /// against the Fig. 1 per-provider shares.
+  double client_weight = 1.0;
+};
+
+/// The calibrated profile for (provider, vantage-year). Vantage differences
+/// (e.g. Google's larger share of .nl than .nz) are applied by the
+/// scenario on top of these via client-weight multipliers.
+[[nodiscard]] ProviderProfile ProfileFor(Provider provider, int year);
+
+}  // namespace clouddns::cloud

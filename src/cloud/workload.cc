@@ -1,0 +1,119 @@
+#include "cloud/workload.h"
+
+#include <stdexcept>
+
+#include "zone/zone_builder.h"
+
+namespace clouddns::cloud {
+namespace {
+
+std::vector<double> SuffixWeights(const WorkloadSpec& spec) {
+  std::vector<double> weights;
+  weights.reserve(spec.suffixes.size());
+  for (const auto& suffix : spec.suffixes) weights.push_back(suffix.weight);
+  return weights;
+}
+
+std::vector<double> QtypeWeights(const WorkloadSpec& spec) {
+  std::vector<double> weights;
+  weights.reserve(spec.qtype_mix.size());
+  for (const auto& [type, weight] : spec.qtype_mix) weights.push_back(weight);
+  return weights;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      rng_(seed),
+      suffix_sampler_(SuffixWeights(spec_)),
+      qtype_sampler_(QtypeWeights(spec_)) {
+  if (spec_.suffixes.empty()) {
+    throw std::invalid_argument("WorkloadGenerator: no suffixes");
+  }
+  for (const auto& suffix : spec_.suffixes) {
+    domain_samplers_.emplace_back(std::max<std::size_t>(1, suffix.domain_count),
+                                  spec_.zipf_exponent);
+  }
+  for (const auto& [type, weight] : spec_.qtype_mix) qtypes_.push_back(type);
+}
+
+dns::Name WorkloadGenerator::RandomLabelName(std::size_t min_len,
+                                             std::size_t max_len,
+                                             const dns::Name& suffix) {
+  std::size_t len = min_len + rng_.NextBelow(max_len - min_len + 1);
+  std::string label;
+  label.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    label += static_cast<char>('a' + rng_.NextBelow(26));
+  }
+  return suffix.Child(label);
+}
+
+void WorkloadGenerator::InjectTargets(std::vector<dns::Name> targets,
+                                      double probability) {
+  injected_ = std::move(targets);
+  injected_probability_ = probability;
+}
+
+void WorkloadGenerator::ClearInjection() {
+  injected_.clear();
+  injected_probability_ = 0.0;
+}
+
+ClientQuery WorkloadGenerator::Next() {
+  ClientQuery query;
+
+  if (!injected_.empty() && rng_.Bernoulli(injected_probability_)) {
+    query.qname =
+        injected_[rng_.NextBelow(injected_.size())].Child("www");
+    query.qtype =
+        rng_.Bernoulli(0.5) ? dns::RrType::kA : dns::RrType::kAaaa;
+    return query;
+  }
+
+  if (spec_.chromium_fraction > 0 &&
+      rng_.Bernoulli(spec_.chromium_fraction)) {
+    // Chromium's network probes: random 7-15 character single labels that
+    // cannot exist, hammering the root with NXDOMAIN [19][42].
+    query.qname = RandomLabelName(7, 15, dns::Name{});
+    query.qtype = dns::RrType::kA;
+    return query;
+  }
+
+  std::size_t suffix_index = suffix_sampler_.Sample(rng_);
+  const SuffixPopulation& population = spec_.suffixes[suffix_index];
+
+  if (rng_.Bernoulli(spec_.junk_fraction)) {
+    // Typos / stale names: unregistered under a real suffix -> NXDOMAIN at
+    // the TLD. Random labels never collide with "<stem><i>".
+    query.qname = RandomLabelName(6, 12, population.suffix);
+    query.qtype = qtypes_[qtype_sampler_.Sample(rng_)];
+    return query;
+  }
+
+  std::size_t rank = domain_samplers_[suffix_index].Sample(rng_);
+  dns::Name domain = population.suffix.Child(
+      zone::DomainLabel(population.stem, rank));
+
+  // Host shape: mostly www/apex, some service hosts, a tail of arbitrary
+  // labels (device names, subdomain-per-customer setups, ...).
+  double roll = rng_.NextDouble();
+  if (roll < 0.42) {
+    query.qname = domain.Child("www");
+  } else if (roll < 0.62) {
+    query.qname = domain;  // apex
+  } else if (roll < 0.72) {
+    query.qname = domain.Child("mail");
+  } else if (roll < 0.80) {
+    query.qname = domain.Child("api");
+  } else if (roll < 0.86) {
+    query.qname = domain.Child("cdn").Child("assets");
+  } else {
+    query.qname = RandomLabelName(4, 10, domain);
+  }
+  query.qtype = qtypes_[qtype_sampler_.Sample(rng_)];
+  return query;
+}
+
+}  // namespace clouddns::cloud

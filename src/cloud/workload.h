@@ -1,0 +1,74 @@
+// Client-side query workload: what end users/applications ask the
+// resolvers for. Popularity is Zipf over the registered domains; a junk
+// share targets unregistered names (typos, misconfigurations); root-vantage
+// workloads add Chromium-style random-TLD probes (§3, [19][42]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "sim/random.h"
+
+namespace clouddns::cloud {
+
+/// One registrable suffix and how many domains exist under it. For .nl
+/// this is just {"nl", N}; .nz has the second level ("nz") plus the
+/// second-level zones ("co.nz", "net.nz", ...) with third-level domains.
+struct SuffixPopulation {
+  dns::Name suffix;
+  std::size_t domain_count = 0;
+  double weight = 1.0;  ///< Client-interest share of this suffix.
+  std::string stem = "dom";  ///< Registered domains are "<stem><i>.<suffix>".
+};
+
+struct WorkloadSpec {
+  std::vector<SuffixPopulation> suffixes;
+  double zipf_exponent = 0.95;
+  /// Client qtype mix for ordinary lookups (A/AAAA dominate; the rest is
+  /// mail/infrastructure). Fig. 2's 2018 panels reflect this directly.
+  std::vector<std::pair<dns::RrType, double>> qtype_mix = {
+      {dns::RrType::kA, 0.58},   {dns::RrType::kAaaa, 0.27},
+      {dns::RrType::kMx, 0.06},  {dns::RrType::kTxt, 0.06},
+      {dns::RrType::kNs, 0.015}, {dns::RrType::kSoa, 0.015}};
+  /// Share of queries for names that do not exist under a real suffix.
+  double junk_fraction = 0.10;
+  /// Share of Chromium-style random single-label (fake TLD) probes.
+  double chromium_fraction = 0.0;
+};
+
+struct ClientQuery {
+  dns::Name qname;
+  dns::RrType qtype = dns::RrType::kA;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] ClientQuery Next();
+
+  /// Forces the next `count` calls to draw from an override domain list
+  /// (used to inject the Feb-2020 cyclic-dependency event of Fig. 3b).
+  void InjectTargets(std::vector<dns::Name> targets, double probability);
+  void ClearInjection();
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] dns::Name RandomLabelName(std::size_t min_len,
+                                          std::size_t max_len,
+                                          const dns::Name& suffix);
+
+  WorkloadSpec spec_;
+  sim::Rng rng_;
+  sim::DiscreteSampler suffix_sampler_;
+  std::vector<sim::ZipfSampler> domain_samplers_;  // one per suffix
+  sim::DiscreteSampler qtype_sampler_;
+  std::vector<dns::RrType> qtypes_;
+  std::vector<dns::Name> injected_;
+  double injected_probability_ = 0.0;
+};
+
+}  // namespace clouddns::cloud

@@ -1,0 +1,201 @@
+#include "dns/message.h"
+
+namespace clouddns::dns {
+namespace {
+
+constexpr std::uint16_t kFlagQr = 0x8000;
+constexpr std::uint16_t kFlagAa = 0x0400;
+constexpr std::uint16_t kFlagTc = 0x0200;
+constexpr std::uint16_t kFlagRd = 0x0100;
+constexpr std::uint16_t kFlagRa = 0x0080;
+
+std::uint16_t PackFlags(const Header& h) {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= kFlagQr;
+  flags |= static_cast<std::uint16_t>((static_cast<unsigned>(h.opcode) & 0xf)
+                                      << 11);
+  if (h.aa) flags |= kFlagAa;
+  if (h.tc) flags |= kFlagTc;
+  if (h.rd) flags |= kFlagRd;
+  if (h.ra) flags |= kFlagRa;
+  flags |= static_cast<std::uint16_t>(static_cast<unsigned>(h.rcode) & 0xf);
+  return flags;
+}
+
+Header UnpackFlags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = flags & kFlagQr;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  h.aa = flags & kFlagAa;
+  h.tc = flags & kFlagTc;
+  h.rd = flags & kFlagRd;
+  h.ra = flags & kFlagRa;
+  h.rcode = static_cast<Rcode>(flags & 0xf);
+  return h;
+}
+
+ResourceRecord MakeOptRecord(const EdnsInfo& edns) {
+  ResourceRecord opt;
+  opt.name = Name{};  // root
+  opt.type = RrType::kOpt;
+  // OPT reuses CLASS for the UDP payload size.
+  opt.rclass = static_cast<RrClass>(edns.udp_payload_size);
+  // TTL packs extended-rcode / version / DO.
+  opt.ttl = (static_cast<std::uint32_t>(edns.version) << 16) |
+            (edns.dnssec_ok ? 0x8000u : 0u);
+  opt.rdata = RawRdata{};
+  return opt;
+}
+
+void EncodeSections(const Message& msg, WireWriter& writer,
+                    bool sections_truncated) {
+  for (const auto& q : msg.questions) q.Encode(writer);
+  if (!sections_truncated) {
+    for (const auto& rr : msg.answers) rr.Encode(writer);
+    for (const auto& rr : msg.authorities) rr.Encode(writer);
+    for (const auto& rr : msg.additionals) rr.Encode(writer);
+  }
+  if (msg.edns) MakeOptRecord(*msg.edns).Encode(writer);
+}
+
+WireBuffer EncodeImpl(const Message& msg, bool truncate_sections) {
+  WireBuffer out;
+  out.reserve(512);
+  WireWriter writer(out);
+  writer.WriteU16(msg.header.id);
+  Header header = msg.header;
+  if (truncate_sections) header.tc = true;
+  writer.WriteU16(PackFlags(header));
+  writer.WriteU16(static_cast<std::uint16_t>(msg.questions.size()));
+  std::size_t opt_count = msg.edns ? 1 : 0;
+  if (truncate_sections) {
+    writer.WriteU16(0);
+    writer.WriteU16(0);
+    writer.WriteU16(static_cast<std::uint16_t>(opt_count));
+  } else {
+    writer.WriteU16(static_cast<std::uint16_t>(msg.answers.size()));
+    writer.WriteU16(static_cast<std::uint16_t>(msg.authorities.size()));
+    writer.WriteU16(
+        static_cast<std::uint16_t>(msg.additionals.size() + opt_count));
+  }
+  EncodeSections(msg, writer, truncate_sections);
+  return out;
+}
+
+}  // namespace
+
+Message Message::MakeQuery(std::uint16_t id, const Name& qname, RrType qtype,
+                           std::optional<EdnsInfo> edns) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = false;  // resolver-to-authoritative queries are iterative
+  msg.questions.push_back(Question{qname, qtype, RrClass::kIn});
+  msg.edns = edns;
+  return msg;
+}
+
+Message Message::MakeResponse(const Message& query) {
+  Message msg;
+  msg.header.id = query.header.id;
+  msg.header.qr = true;
+  msg.header.opcode = query.header.opcode;
+  msg.header.rd = query.header.rd;
+  msg.questions = query.questions;
+  if (query.edns) {
+    // Echo EDNS with the server's own advertised size.
+    msg.edns = EdnsInfo{4096, query.edns->dnssec_ok, 0};
+  }
+  return msg;
+}
+
+WireBuffer Message::Encode() const { return EncodeImpl(*this, false); }
+
+WireBuffer Message::EncodeWithLimit(std::size_t limit, bool* truncated) const {
+  WireBuffer full = EncodeImpl(*this, false);
+  if (full.size() <= limit) {
+    if (truncated) *truncated = false;
+    return full;
+  }
+  if (truncated) *truncated = true;
+  return EncodeImpl(*this, true);
+}
+
+std::optional<Message> Message::Decode(const WireBuffer& wire) {
+  return Decode(wire.data(), wire.size());
+}
+
+std::optional<Message> Message::Decode(const std::uint8_t* data,
+                                       std::size_t size) {
+  WireReader reader(data, size);
+  std::uint16_t id = 0, flags = 0, qdcount = 0, ancount = 0, nscount = 0,
+                arcount = 0;
+  if (!reader.ReadU16(id) || !reader.ReadU16(flags) ||
+      !reader.ReadU16(qdcount) || !reader.ReadU16(ancount) ||
+      !reader.ReadU16(nscount) || !reader.ReadU16(arcount)) {
+    return std::nullopt;
+  }
+  Message msg;
+  msg.header = UnpackFlags(id, flags);
+
+  for (int i = 0; i < qdcount; ++i) {
+    Question q;
+    if (!Question::Decode(reader, q)) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  auto read_records = [&reader](int count,
+                                std::vector<ResourceRecord>& out) -> bool {
+    for (int i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!ResourceRecord::Decode(reader, rr)) return false;
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_records(ancount, msg.answers) ||
+      !read_records(nscount, msg.authorities)) {
+    return std::nullopt;
+  }
+  std::vector<ResourceRecord> additionals;
+  if (!read_records(arcount, additionals)) return std::nullopt;
+  for (auto& rr : additionals) {
+    if (rr.type == RrType::kOpt) {
+      if (msg.edns) return std::nullopt;  // duplicate OPT is FORMERR
+      EdnsInfo edns;
+      edns.udp_payload_size = static_cast<std::uint16_t>(rr.rclass);
+      edns.dnssec_ok = (rr.ttl & 0x8000u) != 0;
+      edns.version = static_cast<std::uint8_t>((rr.ttl >> 16) & 0xff);
+      msg.edns = edns;
+    } else {
+      msg.additionals.push_back(std::move(rr));
+    }
+  }
+  return msg;
+}
+
+std::string Message::ToString() const {
+  std::string out;
+  out += ";; id " + std::to_string(header.id) + " " +
+         (header.qr ? "response" : "query") + " rcode " +
+         std::string(dns::ToString(header.rcode));
+  if (header.aa) out += " aa";
+  if (header.tc) out += " tc";
+  if (edns) {
+    out += " edns(size=" + std::to_string(edns->udp_payload_size) +
+           (edns->dnssec_ok ? ",do" : "") + ")";
+  }
+  out += "\n;; QUESTION\n";
+  for (const auto& q : questions) out += "  " + q.ToString() + "\n";
+  auto dump = [&out](const char* title,
+                     const std::vector<ResourceRecord>& records) {
+    if (records.empty()) return;
+    out += std::string(";; ") + title + "\n";
+    for (const auto& rr : records) out += "  " + rr.ToString() + "\n";
+  };
+  dump("ANSWER", answers);
+  dump("AUTHORITY", authorities);
+  dump("ADDITIONAL", additionals);
+  return out;
+}
+
+}  // namespace clouddns::dns

@@ -1,0 +1,79 @@
+// Full DNS messages: header, sections, EDNS(0), encode/decode, truncation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+#include "dns/types.h"
+#include "dns/wire.h"
+
+namespace clouddns::dns {
+
+/// EDNS(0) parameters carried in the OPT pseudo-record (RFC 6891). The
+/// paper's Figure 6 is built from `udp_payload_size` of captured queries.
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 512;
+  bool dnssec_ok = false;  ///< The DO bit.
+  std::uint8_t version = 0;
+
+  friend bool operator==(const EdnsInfo&, const EdnsInfo&) = default;
+};
+
+/// Classic pre-EDNS maximum UDP response size (RFC 1035 §4.2.1).
+inline constexpr std::size_t kClassicUdpLimit = 512;
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  ///< Response flag.
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  ///< Authoritative answer.
+  bool tc = false;  ///< Truncated.
+  bool rd = false;  ///< Recursion desired.
+  bool ra = false;  ///< Recursion available.
+  Rcode rcode = Rcode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+class Message {
+ public:
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;  ///< Excluding the OPT record.
+  std::optional<EdnsInfo> edns;
+
+  /// Builds a query with one question. EDNS is attached when provided.
+  static Message MakeQuery(std::uint16_t id, const Name& qname, RrType qtype,
+                           std::optional<EdnsInfo> edns = std::nullopt);
+
+  /// Builds a response skeleton echoing the query's id/question/EDNS.
+  static Message MakeResponse(const Message& query);
+
+  /// Encodes to wire format with name compression. The OPT record is
+  /// synthesized from `edns` into the additional section.
+  [[nodiscard]] WireBuffer Encode() const;
+
+  /// Encodes for UDP transport with a payload limit: when the full message
+  /// exceeds `limit`, answer/authority/additional sections are dropped and
+  /// TC is set, exactly what an authoritative does before the client retries
+  /// over TCP. `limit` comes from the query's EDNS size (or 512).
+  [[nodiscard]] WireBuffer EncodeWithLimit(std::size_t limit,
+                                           bool* truncated = nullptr) const;
+
+  /// Decodes from wire bytes. Returns nullopt on any malformation.
+  static std::optional<Message> Decode(const WireBuffer& wire);
+  static std::optional<Message> Decode(const std::uint8_t* data,
+                                       std::size_t size);
+
+  /// dig-style multi-line rendering for examples and debugging.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace clouddns::dns

@@ -1,0 +1,162 @@
+#include "dns/name.h"
+
+#include <stdexcept>
+
+namespace clouddns::dns {
+namespace {
+
+bool IsAllowedLabelChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_';
+}
+
+std::size_t WireLengthOf(const std::vector<std::string>& labels) {
+  std::size_t len = 1;  // terminating root byte
+  for (const auto& label : labels) len += 1 + label.size();
+  return len;
+}
+
+}  // namespace
+
+std::optional<Name> Name::Parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text == ".") return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t dot = text.find('.', start);
+    std::size_t end = (dot == std::string_view::npos) ? text.size() : dot;
+    std::string_view label = text.substr(start, end - start);
+    if (label.empty() || label.size() > kMaxLabelLength) return std::nullopt;
+    for (char c : label) {
+      if (!IsAllowedLabelChar(c)) return std::nullopt;
+    }
+    labels.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  if (WireLengthOf(labels) > kMaxWireLength) return std::nullopt;
+  Name name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+Name Name::FromLabels(std::vector<std::string> labels) {
+  for (const auto& label : labels) {
+    if (label.empty() || label.size() > kMaxLabelLength) {
+      throw std::invalid_argument("Name::FromLabels: bad label");
+    }
+  }
+  if (WireLengthOf(labels) > kMaxWireLength) {
+    throw std::invalid_argument("Name::FromLabels: name too long");
+  }
+  Name name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+std::size_t Name::WireLength() const { return WireLengthOf(labels_); }
+
+Name Name::Parent() const {
+  Name parent;
+  if (labels_.size() > 1) {
+    parent.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return parent;
+}
+
+Name Name::Suffix(std::size_t count) const {
+  Name suffix;
+  if (count >= labels_.size()) return *this;
+  suffix.labels_.assign(labels_.end() - static_cast<std::ptrdiff_t>(count),
+                        labels_.end());
+  return suffix;
+}
+
+Name Name::Child(std::string_view label) const {
+  if (label.empty() || label.size() > kMaxLabelLength) {
+    throw std::invalid_argument("Name::Child: bad label");
+  }
+  Name child;
+  child.labels_.reserve(labels_.size() + 1);
+  child.labels_.emplace_back(label);
+  child.labels_.insert(child.labels_.end(), labels_.begin(), labels_.end());
+  if (child.WireLength() > kMaxWireLength) {
+    throw std::invalid_argument("Name::Child: name too long");
+  }
+  return child;
+}
+
+bool Name::IsSubdomainOf(const Name& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    const std::string& mine = labels_[offset + i];
+    const std::string& theirs = ancestor.labels_[i];
+    if (mine.size() != theirs.size()) return false;
+    for (std::size_t j = 0; j < mine.size(); ++j) {
+      if (AsciiLower(mine[j]) != AsciiLower(theirs[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool Name::Equals(const Name& other) const {
+  return labels_.size() == other.labels_.size() && IsSubdomainOf(other);
+}
+
+int Name::Compare(const Name& other) const {
+  // RFC 4034 §6.1 canonical ordering: compare label-by-label starting from
+  // the least significant (rightmost) label.
+  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::string& a = labels_[labels_.size() - i];
+    const std::string& b = other.labels_[other.labels_.size() - i];
+    std::size_t m = std::min(a.size(), b.size());
+    for (std::size_t j = 0; j < m; ++j) {
+      int diff = static_cast<unsigned char>(AsciiLower(a[j])) -
+                 static_cast<unsigned char>(AsciiLower(b[j]));
+      if (diff != 0) return diff < 0 ? -1 : 1;
+    }
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  }
+  if (labels_.size() != other.labels_.size()) {
+    return labels_.size() < other.labels_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+std::string Name::ToString() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  out.reserve(WireLength());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += labels_[i];
+  }
+  return out;
+}
+
+std::string Name::ToKey() const {
+  std::string key = ToString();
+  for (char& c : key) c = AsciiLower(c);
+  return key;
+}
+
+std::size_t NameHash::operator()(const Name& name) const noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const auto& label : name.labels()) {
+    for (char c : label) mix(static_cast<std::uint8_t>(AsciiLower(c)));
+    mix('.');
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace clouddns::dns

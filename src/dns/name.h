@@ -1,0 +1,90 @@
+// DNS domain names (RFC 1035 §3.1) as a sequence of labels.
+//
+// Names compare and hash case-insensitively, as the protocol requires, but
+// preserve the case they were constructed with. The root name has zero
+// labels and prints as ".".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clouddns::dns {
+
+class Name {
+ public:
+  static constexpr std::size_t kMaxLabelLength = 63;
+  /// Maximum wire length including the terminating root byte.
+  static constexpr std::size_t kMaxWireLength = 255;
+
+  /// The root name ".".
+  Name() = default;
+
+  /// Parses presentation format ("www.example.nl" or "www.example.nl.").
+  /// Returns nullopt for empty labels, over-long labels/names, or characters
+  /// outside [-_a-zA-Z0-9] (we do not need escapes for this study).
+  static std::optional<Name> Parse(std::string_view text);
+
+  /// Builds from explicit labels, most specific first (["www","example","nl"]).
+  /// Throws std::invalid_argument on over-long labels or names.
+  static Name FromLabels(std::vector<std::string> labels);
+
+  [[nodiscard]] bool IsRoot() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t LabelCount() const { return labels_.size(); }
+  [[nodiscard]] const std::string& Label(std::size_t i) const {
+    return labels_[i];
+  }
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+
+  /// Wire-format length: 1 byte per label length + label bytes + root byte.
+  [[nodiscard]] std::size_t WireLength() const;
+
+  /// The name with the most specific label removed; parent of root is root.
+  [[nodiscard]] Name Parent() const;
+
+  /// Keeps only the `count` least specific labels ("a.b.c.d".Suffix(2) ==
+  /// "c.d"). Suffix(0) is the root.
+  [[nodiscard]] Name Suffix(std::size_t count) const;
+
+  /// Prepends a label, making the name one level more specific.
+  /// Throws std::invalid_argument if the result would exceed wire limits.
+  [[nodiscard]] Name Child(std::string_view label) const;
+
+  /// True when this name equals `ancestor` or is underneath it.
+  /// Every name is a subdomain of the root.
+  [[nodiscard]] bool IsSubdomainOf(const Name& ancestor) const;
+
+  /// Case-insensitive equality/ordering (canonical DNS ordering by label,
+  /// least significant label first, per RFC 4034 §6.1).
+  [[nodiscard]] bool Equals(const Name& other) const;
+  [[nodiscard]] int Compare(const Name& other) const;
+
+  /// Presentation format without trailing dot ("example.nl"); root is ".".
+  [[nodiscard]] std::string ToString() const;
+
+  /// Lowercased presentation form, for use as a canonical map key.
+  [[nodiscard]] std::string ToKey() const;
+
+  friend bool operator==(const Name& a, const Name& b) { return a.Equals(b); }
+  friend bool operator<(const Name& a, const Name& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& name) const noexcept;
+};
+
+/// Lowercases an ASCII character; DNS is ASCII-case-insensitive only.
+[[nodiscard]] constexpr char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace clouddns::dns

@@ -1,0 +1,402 @@
+#include "dns/rdata.h"
+
+#include <algorithm>
+
+namespace clouddns::dns {
+namespace {
+
+void EncodeTypeBitmap(const std::vector<RrType>& types, WireWriter& writer) {
+  // RFC 4034 §4.1.2: window blocks of 256 types, each with a bitmap of up to
+  // 32 bytes. Types must be emitted in ascending order.
+  std::vector<std::uint16_t> sorted;
+  sorted.reserve(types.size());
+  for (RrType t : types) sorted.push_back(static_cast<std::uint16_t>(t));
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::uint8_t window = static_cast<std::uint8_t>(sorted[i] >> 8);
+    std::uint8_t bitmap[32] = {};
+    int max_byte = -1;
+    while (i < sorted.size() && (sorted[i] >> 8) == window) {
+      std::uint8_t low = static_cast<std::uint8_t>(sorted[i] & 0xff);
+      bitmap[low / 8] |= static_cast<std::uint8_t>(0x80 >> (low % 8));
+      max_byte = std::max(max_byte, low / 8);
+      ++i;
+    }
+    writer.WriteU8(window);
+    writer.WriteU8(static_cast<std::uint8_t>(max_byte + 1));
+    writer.WriteBytes(bitmap, static_cast<std::size_t>(max_byte + 1));
+  }
+}
+
+bool DecodeTypeBitmap(WireReader& reader, std::size_t end_offset,
+                      std::vector<RrType>& out) {
+  while (reader.offset() < end_offset) {
+    std::uint8_t window = 0, len = 0;
+    if (!reader.ReadU8(window) || !reader.ReadU8(len)) return false;
+    if (len == 0 || len > 32) return false;
+    std::vector<std::uint8_t> bitmap;
+    if (!reader.ReadBytes(len, bitmap)) return false;
+    for (std::size_t byte = 0; byte < bitmap.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if (bitmap[byte] & (0x80u >> bit)) {
+          out.push_back(static_cast<RrType>((window << 8) |
+                                            (byte * 8 + static_cast<std::size_t>(bit))));
+        }
+      }
+    }
+  }
+  return reader.offset() == end_offset;
+}
+
+std::string BytesToHex(const std::vector<std::uint8_t>& bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+struct EncodeVisitor {
+  WireWriter& writer;
+
+  void operator()(const ARdata& r) const {
+    auto bytes = r.address.ToBytes();
+    writer.WriteBytes(bytes.data(), bytes.size());
+  }
+  void operator()(const AaaaRdata& r) const {
+    writer.WriteBytes(r.address.bytes().data(), r.address.bytes().size());
+  }
+  void operator()(const NsRdata& r) const { writer.WriteName(r.nameserver); }
+  void operator()(const CnameRdata& r) const { writer.WriteName(r.target); }
+  void operator()(const PtrRdata& r) const { writer.WriteName(r.target); }
+  void operator()(const MxRdata& r) const {
+    writer.WriteU16(r.preference);
+    writer.WriteName(r.exchange);
+  }
+  void operator()(const TxtRdata& r) const {
+    for (const auto& s : r.strings) {
+      std::size_t len = std::min<std::size_t>(s.size(), 255);
+      writer.WriteU8(static_cast<std::uint8_t>(len));
+      writer.WriteBytes(reinterpret_cast<const std::uint8_t*>(s.data()), len);
+    }
+  }
+  void operator()(const SoaRdata& r) const {
+    writer.WriteName(r.mname);
+    writer.WriteName(r.rname);
+    writer.WriteU32(r.serial);
+    writer.WriteU32(r.refresh);
+    writer.WriteU32(r.retry);
+    writer.WriteU32(r.expire);
+    writer.WriteU32(r.minimum);
+  }
+  void operator()(const SrvRdata& r) const {
+    writer.WriteU16(r.priority);
+    writer.WriteU16(r.weight);
+    writer.WriteU16(r.port);
+    writer.WriteName(r.target, /*compress=*/false);
+  }
+  void operator()(const DsRdata& r) const {
+    writer.WriteU16(r.key_tag);
+    writer.WriteU8(r.algorithm);
+    writer.WriteU8(r.digest_type);
+    writer.WriteBytes(r.digest);
+  }
+  void operator()(const DnskeyRdata& r) const {
+    writer.WriteU16(r.flags);
+    writer.WriteU8(r.protocol);
+    writer.WriteU8(r.algorithm);
+    writer.WriteBytes(r.public_key);
+  }
+  void operator()(const RrsigRdata& r) const {
+    writer.WriteU16(r.type_covered);
+    writer.WriteU8(r.algorithm);
+    writer.WriteU8(r.labels);
+    writer.WriteU32(r.original_ttl);
+    writer.WriteU32(r.expiration);
+    writer.WriteU32(r.inception);
+    writer.WriteU16(r.key_tag);
+    writer.WriteName(r.signer, /*compress=*/false);
+    writer.WriteBytes(r.signature);
+  }
+  void operator()(const NsecRdata& r) const {
+    writer.WriteName(r.next, /*compress=*/false);
+    EncodeTypeBitmap(r.types, writer);
+  }
+  void operator()(const Nsec3Rdata& r) const {
+    writer.WriteU8(r.hash_algorithm);
+    writer.WriteU8(r.flags);
+    writer.WriteU16(r.iterations);
+    writer.WriteU8(static_cast<std::uint8_t>(r.salt.size()));
+    writer.WriteBytes(r.salt);
+    writer.WriteU8(static_cast<std::uint8_t>(r.next_hashed_owner.size()));
+    writer.WriteBytes(r.next_hashed_owner);
+    EncodeTypeBitmap(r.types, writer);
+  }
+  void operator()(const Nsec3ParamRdata& r) const {
+    writer.WriteU8(r.hash_algorithm);
+    writer.WriteU8(r.flags);
+    writer.WriteU16(r.iterations);
+    writer.WriteU8(static_cast<std::uint8_t>(r.salt.size()));
+    writer.WriteBytes(r.salt);
+  }
+  void operator()(const RawRdata& r) const { writer.WriteBytes(r.data); }
+};
+
+}  // namespace
+
+void EncodeRdata(const Rdata& rdata, WireWriter& writer) {
+  std::visit(EncodeVisitor{writer}, rdata);
+}
+
+bool DecodeRdata(RrType type, std::uint16_t rdlength, WireReader& reader,
+                 Rdata& out) {
+  const std::size_t end = reader.offset() + rdlength;
+  if (reader.remaining() < rdlength) return false;
+
+  auto finish = [&reader, end] { return reader.offset() == end; };
+
+  switch (type) {
+    case RrType::kA: {
+      if (rdlength != 4) return false;
+      std::vector<std::uint8_t> b;
+      if (!reader.ReadBytes(4, b)) return false;
+      out = ARdata{net::Ipv4Address::FromBytes({b[0], b[1], b[2], b[3]})};
+      return true;
+    }
+    case RrType::kAaaa: {
+      if (rdlength != 16) return false;
+      std::vector<std::uint8_t> b;
+      if (!reader.ReadBytes(16, b)) return false;
+      net::Ipv6Address::Bytes bytes;
+      std::copy(b.begin(), b.end(), bytes.begin());
+      out = AaaaRdata{net::Ipv6Address(bytes)};
+      return true;
+    }
+    case RrType::kNs: {
+      NsRdata r;
+      if (!reader.ReadName(r.nameserver) || !finish()) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kCname: {
+      CnameRdata r;
+      if (!reader.ReadName(r.target) || !finish()) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kPtr: {
+      PtrRdata r;
+      if (!reader.ReadName(r.target) || !finish()) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kMx: {
+      MxRdata r;
+      if (!reader.ReadU16(r.preference) || !reader.ReadName(r.exchange) ||
+          !finish()) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kTxt: {
+      TxtRdata r;
+      while (reader.offset() < end) {
+        std::uint8_t len = 0;
+        if (!reader.ReadU8(len)) return false;
+        if (reader.offset() + len > end) return false;
+        std::vector<std::uint8_t> bytes;
+        if (!reader.ReadBytes(len, bytes)) return false;
+        r.strings.emplace_back(bytes.begin(), bytes.end());
+      }
+      if (!finish()) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kSoa: {
+      SoaRdata r;
+      if (!reader.ReadName(r.mname) || !reader.ReadName(r.rname) ||
+          !reader.ReadU32(r.serial) || !reader.ReadU32(r.refresh) ||
+          !reader.ReadU32(r.retry) || !reader.ReadU32(r.expire) ||
+          !reader.ReadU32(r.minimum) || !finish()) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kSrv: {
+      SrvRdata r;
+      if (!reader.ReadU16(r.priority) || !reader.ReadU16(r.weight) ||
+          !reader.ReadU16(r.port) || !reader.ReadName(r.target) || !finish()) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kDs: {
+      DsRdata r;
+      if (rdlength < 4) return false;
+      if (!reader.ReadU16(r.key_tag) || !reader.ReadU8(r.algorithm) ||
+          !reader.ReadU8(r.digest_type) ||
+          !reader.ReadBytes(end - reader.offset(), r.digest)) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kDnskey: {
+      DnskeyRdata r;
+      if (rdlength < 4) return false;
+      if (!reader.ReadU16(r.flags) || !reader.ReadU8(r.protocol) ||
+          !reader.ReadU8(r.algorithm) ||
+          !reader.ReadBytes(end - reader.offset(), r.public_key)) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kRrsig: {
+      RrsigRdata r;
+      if (rdlength < 18) return false;
+      if (!reader.ReadU16(r.type_covered) || !reader.ReadU8(r.algorithm) ||
+          !reader.ReadU8(r.labels) || !reader.ReadU32(r.original_ttl) ||
+          !reader.ReadU32(r.expiration) || !reader.ReadU32(r.inception) ||
+          !reader.ReadU16(r.key_tag) || !reader.ReadName(r.signer)) {
+        return false;
+      }
+      if (reader.offset() > end) return false;
+      if (!reader.ReadBytes(end - reader.offset(), r.signature)) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kNsec: {
+      NsecRdata r;
+      if (!reader.ReadName(r.next)) return false;
+      if (reader.offset() > end) return false;
+      if (!DecodeTypeBitmap(reader, end, r.types)) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kNsec3: {
+      Nsec3Rdata r;
+      std::uint8_t salt_len = 0, hash_len = 0;
+      if (!reader.ReadU8(r.hash_algorithm) || !reader.ReadU8(r.flags) ||
+          !reader.ReadU16(r.iterations) || !reader.ReadU8(salt_len) ||
+          !reader.ReadBytes(salt_len, r.salt) || !reader.ReadU8(hash_len) ||
+          !reader.ReadBytes(hash_len, r.next_hashed_owner)) {
+        return false;
+      }
+      if (reader.offset() > end) return false;
+      if (!DecodeTypeBitmap(reader, end, r.types)) return false;
+      out = std::move(r);
+      return true;
+    }
+    case RrType::kNsec3Param: {
+      Nsec3ParamRdata r;
+      std::uint8_t salt_len = 0;
+      if (!reader.ReadU8(r.hash_algorithm) || !reader.ReadU8(r.flags) ||
+          !reader.ReadU16(r.iterations) || !reader.ReadU8(salt_len) ||
+          !reader.ReadBytes(salt_len, r.salt) ||
+          reader.offset() != end) {
+        return false;
+      }
+      out = std::move(r);
+      return true;
+    }
+    default: {
+      RawRdata r;
+      if (!reader.ReadBytes(rdlength, r.data)) return false;
+      out = std::move(r);
+      return true;
+    }
+  }
+}
+
+std::string RdataToString(const Rdata& rdata) {
+  struct Visitor {
+    std::string operator()(const ARdata& r) const {
+      return r.address.ToString();
+    }
+    std::string operator()(const AaaaRdata& r) const {
+      return r.address.ToString();
+    }
+    std::string operator()(const NsRdata& r) const {
+      return r.nameserver.ToString();
+    }
+    std::string operator()(const CnameRdata& r) const {
+      return r.target.ToString();
+    }
+    std::string operator()(const PtrRdata& r) const {
+      return r.target.ToString();
+    }
+    std::string operator()(const MxRdata& r) const {
+      return std::to_string(r.preference) + " " + r.exchange.ToString();
+    }
+    std::string operator()(const TxtRdata& r) const {
+      std::string out;
+      for (const auto& s : r.strings) {
+        if (!out.empty()) out += ' ';
+        out += '"' + s + '"';
+      }
+      return out;
+    }
+    std::string operator()(const SoaRdata& r) const {
+      return r.mname.ToString() + " " + r.rname.ToString() + " " +
+             std::to_string(r.serial);
+    }
+    std::string operator()(const SrvRdata& r) const {
+      return std::to_string(r.priority) + " " + std::to_string(r.weight) +
+             " " + std::to_string(r.port) + " " + r.target.ToString();
+    }
+    std::string operator()(const DsRdata& r) const {
+      return std::to_string(r.key_tag) + " " + std::to_string(r.algorithm) +
+             " " + std::to_string(r.digest_type) + " " + BytesToHex(r.digest);
+    }
+    std::string operator()(const DnskeyRdata& r) const {
+      return std::to_string(r.flags) + " " + std::to_string(r.protocol) +
+             " " + std::to_string(r.algorithm) + " " +
+             BytesToHex(r.public_key);
+    }
+    std::string operator()(const RrsigRdata& r) const {
+      return std::string(ToString(static_cast<RrType>(r.type_covered))) +
+             " " + r.signer.ToString() + " " + std::to_string(r.key_tag);
+    }
+    std::string operator()(const NsecRdata& r) const {
+      std::string out = r.next.ToString();
+      for (RrType t : r.types) {
+        out += ' ';
+        out += ToString(t);
+      }
+      return out;
+    }
+    std::string operator()(const Nsec3Rdata& r) const {
+      std::string out = std::to_string(r.hash_algorithm) + " " +
+                        std::to_string(r.flags) + " " +
+                        std::to_string(r.iterations) + " " +
+                        (r.salt.empty() ? "-" : BytesToHex(r.salt)) + " " +
+                        BytesToHex(r.next_hashed_owner);
+      for (RrType t : r.types) {
+        out += ' ';
+        out += ToString(t);
+      }
+      return out;
+    }
+    std::string operator()(const Nsec3ParamRdata& r) const {
+      return std::to_string(r.hash_algorithm) + " " +
+             std::to_string(r.flags) + " " + std::to_string(r.iterations) +
+             " " + (r.salt.empty() ? "-" : BytesToHex(r.salt));
+    }
+    std::string operator()(const RawRdata& r) const {
+      return "\\# " + std::to_string(r.data.size()) + " " + BytesToHex(r.data);
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+}  // namespace clouddns::dns

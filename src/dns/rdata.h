@@ -1,0 +1,153 @@
+// Typed RDATA for the record types this study touches, plus a raw fallback
+// so unknown types round-trip losslessly (RFC 3597 spirit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "dns/wire.h"
+#include "net/ip.h"
+
+namespace clouddns::dns {
+
+struct ARdata {
+  net::Ipv4Address address;
+  friend bool operator==(const ARdata&, const ARdata&) = default;
+};
+
+struct AaaaRdata {
+  net::Ipv6Address address;
+  friend bool operator==(const AaaaRdata&, const AaaaRdata&) = default;
+};
+
+struct NsRdata {
+  Name nameserver;
+  friend bool operator==(const NsRdata&, const NsRdata&) = default;
+};
+
+struct CnameRdata {
+  Name target;
+  friend bool operator==(const CnameRdata&, const CnameRdata&) = default;
+};
+
+struct PtrRdata {
+  Name target;
+  friend bool operator==(const PtrRdata&, const PtrRdata&) = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  friend bool operator==(const MxRdata&, const MxRdata&) = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;  ///< Each entry <= 255 bytes on the wire.
+  friend bool operator==(const TxtRdata&, const TxtRdata&) = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  ///< Negative-caching TTL (RFC 2308).
+  friend bool operator==(const SoaRdata&, const SoaRdata&) = default;
+};
+
+struct SrvRdata {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  Name target;
+  friend bool operator==(const SrvRdata&, const SrvRdata&) = default;
+};
+
+struct DsRdata {
+  std::uint16_t key_tag = 0;
+  std::uint8_t algorithm = 0;
+  std::uint8_t digest_type = 0;
+  std::vector<std::uint8_t> digest;
+  friend bool operator==(const DsRdata&, const DsRdata&) = default;
+};
+
+struct DnskeyRdata {
+  std::uint16_t flags = 0;  ///< 256 = ZSK, 257 = KSK.
+  std::uint8_t protocol = 3;
+  std::uint8_t algorithm = 0;
+  std::vector<std::uint8_t> public_key;
+  friend bool operator==(const DnskeyRdata&, const DnskeyRdata&) = default;
+};
+
+struct RrsigRdata {
+  std::uint16_t type_covered = 0;
+  std::uint8_t algorithm = 0;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;
+  std::uint32_t inception = 0;
+  std::uint16_t key_tag = 0;
+  Name signer;
+  std::vector<std::uint8_t> signature;
+  friend bool operator==(const RrsigRdata&, const RrsigRdata&) = default;
+};
+
+struct NsecRdata {
+  Name next;
+  std::vector<RrType> types;  ///< Ascending, for the type bitmap.
+  friend bool operator==(const NsecRdata&, const NsecRdata&) = default;
+};
+
+/// RFC 5155 hashed denial of existence. The next-hashed-owner field is
+/// raw hash bytes (presentation format base32hex-encodes it; see
+/// zone/nsec3.h).
+struct Nsec3Rdata {
+  std::uint8_t hash_algorithm = 1;  ///< 1 = SHA-1 in the RFC; mocked here.
+  std::uint8_t flags = 0;           ///< Bit 0 = opt-out.
+  std::uint16_t iterations = 0;
+  std::vector<std::uint8_t> salt;   ///< <= 255 bytes.
+  std::vector<std::uint8_t> next_hashed_owner;
+  std::vector<RrType> types;
+  friend bool operator==(const Nsec3Rdata&, const Nsec3Rdata&) = default;
+};
+
+struct Nsec3ParamRdata {
+  std::uint8_t hash_algorithm = 1;
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  std::vector<std::uint8_t> salt;
+  friend bool operator==(const Nsec3ParamRdata&, const Nsec3ParamRdata&) =
+      default;
+};
+
+/// Fallback for types without a dedicated struct.
+struct RawRdata {
+  std::vector<std::uint8_t> data;
+  friend bool operator==(const RawRdata&, const RawRdata&) = default;
+};
+
+using Rdata =
+    std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata, MxRdata,
+                 TxtRdata, SoaRdata, SrvRdata, DsRdata, DnskeyRdata,
+                 RrsigRdata, NsecRdata, Nsec3Rdata, Nsec3ParamRdata,
+                 RawRdata>;
+
+/// Serializes `rdata` (without the RDLENGTH prefix). Name compression is
+/// only applied where RFC 1035/3597 permit (NS/CNAME/PTR/MX/SOA targets).
+void EncodeRdata(const Rdata& rdata, WireWriter& writer);
+
+/// Parses `rdlength` bytes at the reader into the typed form for `type`;
+/// unknown types land in RawRdata. Returns false on truncated/bad data.
+[[nodiscard]] bool DecodeRdata(RrType type, std::uint16_t rdlength,
+                               WireReader& reader, Rdata& out);
+
+/// Human-readable zone-file-ish rendering, for traces and debugging.
+[[nodiscard]] std::string RdataToString(const Rdata& rdata);
+
+}  // namespace clouddns::dns

@@ -1,0 +1,57 @@
+// Resource records and questions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/types.h"
+#include "dns/wire.h"
+
+namespace clouddns::dns {
+
+struct Question {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass rclass = RrClass::kIn;
+
+  void Encode(WireWriter& writer) const;
+  [[nodiscard]] static bool Decode(WireReader& reader, Question& out);
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct ResourceRecord {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass rclass = RrClass::kIn;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+
+  void Encode(WireWriter& writer) const;
+  [[nodiscard]] static bool Decode(WireReader& reader, ResourceRecord& out);
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) =
+      default;
+};
+
+// Convenience constructors used throughout zone building and tests.
+[[nodiscard]] ResourceRecord MakeA(const Name& name, net::Ipv4Address addr,
+                                   std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakeAaaa(const Name& name, net::Ipv6Address addr,
+                                      std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakeNs(const Name& name, const Name& nameserver,
+                                    std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakePtr(const Name& name, const Name& target,
+                                     std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakeMx(const Name& name, std::uint16_t pref,
+                                    const Name& exchange, std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakeSoa(const Name& name, const SoaRdata& soa,
+                                     std::uint32_t ttl);
+[[nodiscard]] ResourceRecord MakeTxt(const Name& name, std::string text,
+                                     std::uint32_t ttl);
+
+}  // namespace clouddns::dns

@@ -1,0 +1,133 @@
+#include "dns/wire.h"
+
+namespace clouddns::dns {
+
+void WireWriter::WriteU16(std::uint16_t value) {
+  out_.push_back(static_cast<std::uint8_t>(value >> 8));
+  out_.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void WireWriter::WriteU32(std::uint32_t value) {
+  out_.push_back(static_cast<std::uint8_t>(value >> 24));
+  out_.push_back(static_cast<std::uint8_t>(value >> 16));
+  out_.push_back(static_cast<std::uint8_t>(value >> 8));
+  out_.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void WireWriter::WriteBytes(const std::uint8_t* data, std::size_t size) {
+  out_.insert(out_.end(), data, data + size);
+}
+
+void WireWriter::WriteName(const Name& name, bool compress) {
+  // Walk the label list; for every suffix check whether it was written
+  // before, and if so emit a 2-byte pointer and stop.
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::string suffix_key;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      for (char c : labels[j]) suffix_key += AsciiLower(c);
+      suffix_key += '.';
+    }
+    if (compress) {
+      auto it = suffix_offsets_.find(suffix_key);
+      if (it != suffix_offsets_.end()) {
+        WriteU16(static_cast<std::uint16_t>(0xc000u | it->second));
+        return;
+      }
+      if (out_.size() <= 0x3fff) {
+        suffix_offsets_.emplace(std::move(suffix_key),
+                                static_cast<std::uint16_t>(out_.size()));
+      }
+    }
+    const std::string& label = labels[i];
+    WriteU8(static_cast<std::uint8_t>(label.size()));
+    WriteBytes(reinterpret_cast<const std::uint8_t*>(label.data()),
+               label.size());
+  }
+  WriteU8(0);  // root
+}
+
+void WireWriter::PatchU16(std::size_t offset, std::uint16_t value) {
+  out_[offset] = static_cast<std::uint8_t>(value >> 8);
+  out_[offset + 1] = static_cast<std::uint8_t>(value & 0xff);
+}
+
+bool WireReader::ReadU8(std::uint8_t& value) {
+  if (remaining() < 1) return false;
+  value = data_[offset_++];
+  return true;
+}
+
+bool WireReader::ReadU16(std::uint16_t& value) {
+  if (remaining() < 2) return false;
+  value = static_cast<std::uint16_t>((data_[offset_] << 8) |
+                                     data_[offset_ + 1]);
+  offset_ += 2;
+  return true;
+}
+
+bool WireReader::ReadU32(std::uint32_t& value) {
+  if (remaining() < 4) return false;
+  value = (static_cast<std::uint32_t>(data_[offset_]) << 24) |
+          (static_cast<std::uint32_t>(data_[offset_ + 1]) << 16) |
+          (static_cast<std::uint32_t>(data_[offset_ + 2]) << 8) |
+          static_cast<std::uint32_t>(data_[offset_ + 3]);
+  offset_ += 4;
+  return true;
+}
+
+bool WireReader::ReadBytes(std::size_t count, std::vector<std::uint8_t>& out) {
+  if (remaining() < count) return false;
+  out.assign(data_ + offset_, data_ + offset_ + count);
+  offset_ += count;
+  return true;
+}
+
+bool WireReader::ReadName(Name& name) {
+  std::vector<std::string> labels;
+  std::size_t cursor = offset_;
+  std::size_t end_of_name = 0;  // where the cursor resumes (set at first jump)
+  bool jumped = false;
+  int hops = 0;
+  std::size_t total_len = 1;
+
+  for (;;) {
+    if (cursor >= size_) return false;
+    std::uint8_t len = data_[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= size_) return false;
+      std::size_t target = static_cast<std::size_t>((len & 0x3f) << 8) |
+                           data_[cursor + 1];
+      if (!jumped) {
+        end_of_name = cursor + 2;
+        jumped = true;
+      }
+      // Hop limit bounds total work on crafted pointer chains.
+      if (++hops > 32) return false;
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return false;  // reserved label types
+    ++cursor;
+    if (len == 0) break;
+    if (cursor + len > size_) return false;
+    total_len += 1 + len;
+    if (total_len > Name::kMaxWireLength) return false;
+    labels.emplace_back(reinterpret_cast<const char*>(data_ + cursor), len);
+    cursor += len;
+  }
+
+  offset_ = jumped ? end_of_name : cursor;
+  // Labels read off the wire are length-delimited so any byte value is legal
+  // here; construct without re-validating the character set.
+  name = Name::FromLabels(std::move(labels));
+  return true;
+}
+
+bool WireReader::Seek(std::size_t offset) {
+  if (offset > size_) return false;
+  offset_ = offset;
+  return true;
+}
+
+}  // namespace clouddns::dns

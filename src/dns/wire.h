@@ -1,0 +1,80 @@
+// Bounds-checked DNS wire-format primitives.
+//
+// WireWriter appends big-endian integers, raw bytes, and domain names with
+// RFC 1035 §4.1.4 compression pointers. WireReader is the mirror: every read
+// is bounds-checked and returns false on malformed input instead of throwing,
+// because the authoritative server must survive arbitrary junk queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace clouddns::dns {
+
+using WireBuffer = std::vector<std::uint8_t>;
+
+class WireWriter {
+ public:
+  explicit WireWriter(WireBuffer& out) : out_(out) {}
+
+  void WriteU8(std::uint8_t value) { out_.push_back(value); }
+  void WriteU16(std::uint16_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteBytes(const std::uint8_t* data, std::size_t size);
+  void WriteBytes(const std::vector<std::uint8_t>& data) {
+    WriteBytes(data.data(), data.size());
+  }
+
+  /// Writes `name`, emitting a compression pointer to an earlier occurrence
+  /// of any suffix already written through this writer. Set `compress` to
+  /// false inside RDATA types where compression is forbidden (RFC 3597).
+  void WriteName(const Name& name, bool compress = true);
+
+  /// Patches a previously written 16-bit field (e.g. RDLENGTH back-fill).
+  void PatchU16(std::size_t offset, std::uint16_t value);
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  WireBuffer& out_;
+  // Lowercased suffix text -> offset of its first occurrence. Offsets beyond
+  // 0x3fff cannot be pointer targets and are not recorded.
+  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const WireBuffer& buffer)
+      : WireReader(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] bool ReadU8(std::uint8_t& value);
+  [[nodiscard]] bool ReadU16(std::uint16_t& value);
+  [[nodiscard]] bool ReadU32(std::uint32_t& value);
+  [[nodiscard]] bool ReadBytes(std::size_t count,
+                               std::vector<std::uint8_t>& out);
+
+  /// Reads a (possibly compressed) name starting at the cursor. Follows
+  /// pointers with a hop limit so crafted loops cannot hang the parser.
+  [[nodiscard]] bool ReadName(Name& name);
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - offset_; }
+  [[nodiscard]] bool AtEnd() const { return offset_ == size_; }
+
+  /// Moves the cursor; false if the target is out of range.
+  [[nodiscard]] bool Seek(std::size_t offset);
+  [[nodiscard]] bool Skip(std::size_t count) { return Seek(offset_ + count); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace clouddns::dns

@@ -1,0 +1,135 @@
+#include "entrada/analytics.h"
+
+#include <unordered_set>
+
+namespace clouddns::entrada {
+
+Aggregation CountBy(const capture::CaptureBuffer& records, const KeyFn& key,
+                    const Filter& filter) {
+  Aggregation result;
+  for (const auto& record : records) {
+    if (filter && !filter(record)) continue;
+    ++result.counts[key(record)];
+    ++result.total;
+  }
+  return result;
+}
+
+std::uint64_t CountIf(const capture::CaptureBuffer& records,
+                      const Filter& filter) {
+  std::uint64_t count = 0;
+  for (const auto& record : records) {
+    if (!filter || filter(record)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t DistinctExact(const capture::CaptureBuffer& records,
+                            const KeyFn& key, const Filter& filter) {
+  std::unordered_set<std::string> seen;
+  for (const auto& record : records) {
+    if (filter && !filter(record)) continue;
+    seen.insert(key(record));
+  }
+  return seen.size();
+}
+
+Hll DistinctSketch(const capture::CaptureBuffer& records, const KeyFn& key,
+                   const Filter& filter) {
+  Hll sketch;
+  for (const auto& record : records) {
+    if (filter && !filter(record)) continue;
+    sketch.Add(key(record));
+  }
+  return sketch;
+}
+
+Cdf CollectCdf(const capture::CaptureBuffer& records, const ValueFn& value,
+               const Filter& filter) {
+  Cdf cdf;
+  for (const auto& record : records) {
+    if (filter && !filter(record)) continue;
+    if (auto v = value(record)) cdf.Add(*v);
+  }
+  return cdf;
+}
+
+std::map<std::string, Aggregation> CountByMonth(
+    const capture::CaptureBuffer& records, const KeyFn& key,
+    const Filter& filter) {
+  std::map<std::string, Aggregation> months;
+  for (const auto& record : records) {
+    if (filter && !filter(record)) continue;
+    Aggregation& agg = months[sim::MonthKey(record.time_us)];
+    ++agg.counts[key(record)];
+    ++agg.total;
+  }
+  return months;
+}
+
+KeyFn KeyQtype() {
+  return [](const capture::CaptureRecord& r) {
+    return std::string(ToString(r.qtype));
+  };
+}
+
+KeyFn KeyRcode() {
+  return [](const capture::CaptureRecord& r) {
+    return std::string(ToString(r.rcode));
+  };
+}
+
+KeyFn KeyTransport() {
+  return [](const capture::CaptureRecord& r) {
+    return std::string(ToString(r.transport));
+  };
+}
+
+KeyFn KeySrcAddress() {
+  return [](const capture::CaptureRecord& r) { return r.src.ToString(); };
+}
+
+KeyFn KeyIpFamily() {
+  return [](const capture::CaptureRecord& r) {
+    return std::string(r.src.is_v4() ? "IPv4" : "IPv6");
+  };
+}
+
+KeyFn KeySrcAs(const net::AsDatabase& asdb) {
+  return [&asdb](const capture::CaptureRecord& r) {
+    auto asn = asdb.OriginAs(r.src);
+    return asn ? "AS" + std::to_string(*asn) : std::string("AS?");
+  };
+}
+
+Filter FilterJunk() {
+  return [](const capture::CaptureRecord& r) {
+    return dns::IsJunkRcode(r.rcode);
+  };
+}
+
+Filter FilterValid() {
+  return [](const capture::CaptureRecord& r) {
+    return !dns::IsJunkRcode(r.rcode);
+  };
+}
+
+Filter FilterTransport(dns::Transport transport) {
+  return [transport](const capture::CaptureRecord& r) {
+    return r.transport == transport;
+  };
+}
+
+Filter FilterServer(std::uint32_t server_id) {
+  return [server_id](const capture::CaptureRecord& r) {
+    return r.server_id == server_id;
+  };
+}
+
+Filter And(Filter a, Filter b) {
+  return [a = std::move(a), b = std::move(b)](const capture::CaptureRecord& r) {
+    return (!a || a(r)) && (!b || b(r));
+  };
+}
+
+}  // namespace clouddns::entrada

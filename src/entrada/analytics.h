@@ -1,0 +1,90 @@
+// The query layer over capture streams: filters, group-by counting,
+// distinct counting (exact and HLL), value extraction into CDFs, and
+// monthly time-series bucketing. This is the ENTRADA role: every table and
+// figure in the paper is a composition of these primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "capture/record.h"
+#include "entrada/cdf.h"
+#include "entrada/hll.h"
+#include "net/asdb.h"
+
+namespace clouddns::entrada {
+
+using Filter = std::function<bool(const capture::CaptureRecord&)>;
+using KeyFn = std::function<std::string(const capture::CaptureRecord&)>;
+using ValueFn =
+    std::function<std::optional<double>(const capture::CaptureRecord&)>;
+
+/// Group-by result; ordered map for stable report rendering.
+struct Aggregation {
+  std::map<std::string, std::uint64_t> counts;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] std::uint64_t Of(const std::string& key) const {
+    auto it = counts.find(key);
+    return it == counts.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double Share(const std::string& key) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(Of(key)) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Counts records per key. A null filter accepts everything.
+[[nodiscard]] Aggregation CountBy(const capture::CaptureBuffer& records,
+                                  const KeyFn& key,
+                                  const Filter& filter = nullptr);
+
+[[nodiscard]] std::uint64_t CountIf(const capture::CaptureBuffer& records,
+                                    const Filter& filter);
+
+/// Exact distinct count of key values (hash set; use for scaled runs).
+[[nodiscard]] std::uint64_t DistinctExact(const capture::CaptureBuffer& records,
+                                          const KeyFn& key,
+                                          const Filter& filter = nullptr);
+
+/// HLL distinct count (what full-scale ENTRADA would use).
+[[nodiscard]] Hll DistinctSketch(const capture::CaptureBuffer& records,
+                                 const KeyFn& key,
+                                 const Filter& filter = nullptr);
+
+/// Collects extracted values into a CDF; records where the extractor
+/// returns nullopt are skipped.
+[[nodiscard]] Cdf CollectCdf(const capture::CaptureBuffer& records,
+                             const ValueFn& value,
+                             const Filter& filter = nullptr);
+
+/// Month key ("2020-04") -> per-key counts. The Fig. 3 longitudinal view.
+[[nodiscard]] std::map<std::string, Aggregation> CountByMonth(
+    const capture::CaptureBuffer& records, const KeyFn& key,
+    const Filter& filter = nullptr);
+
+// --- Common key extractors ---
+
+[[nodiscard]] KeyFn KeyQtype();
+[[nodiscard]] KeyFn KeyRcode();
+[[nodiscard]] KeyFn KeyTransport();
+[[nodiscard]] KeyFn KeySrcAddress();
+[[nodiscard]] KeyFn KeyIpFamily();  ///< "IPv4" / "IPv6"
+
+/// Maps the record's source address to its origin AS ("AS15169"), or
+/// "AS?" when unrouted. The database must outlive the returned functor.
+[[nodiscard]] KeyFn KeySrcAs(const net::AsDatabase& asdb);
+
+// --- Common filters ---
+
+[[nodiscard]] Filter FilterJunk();       ///< Non-NOERROR responses (§3).
+[[nodiscard]] Filter FilterValid();
+[[nodiscard]] Filter FilterTransport(dns::Transport transport);
+[[nodiscard]] Filter FilterServer(std::uint32_t server_id);
+[[nodiscard]] Filter And(Filter a, Filter b);
+
+}  // namespace clouddns::entrada

@@ -1,0 +1,50 @@
+#include "entrada/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clouddns::entrada {
+
+void Cdf::Sort() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::Quantile(double q) {
+  if (values_.empty()) return 0.0;
+  Sort();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with ceiling, 1-indexed.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  if (rank == 0) rank = 1;
+  return values_[rank - 1];
+}
+
+double Cdf::FractionAtOrBelow(double x) {
+  if (values_.empty()) return 0.0;
+  Sort();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::Curve() {
+  std::vector<std::pair<double, double>> curve;
+  if (values_.empty()) return curve;
+  Sort();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    bool last_of_value =
+        i + 1 == values_.size() || values_[i + 1] != values_[i];
+    if (last_of_value) {
+      curve.emplace_back(values_[i],
+                         static_cast<double>(i + 1) /
+                             static_cast<double>(values_.size()));
+    }
+  }
+  return curve;
+}
+
+}  // namespace clouddns::entrada

@@ -1,0 +1,80 @@
+#include "entrada/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace clouddns::entrada {
+namespace {
+
+std::uint64_t Fnv1a(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (splitmix) so low-entropy inputs still spread.
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+void Hll::AddHash(std::uint64_t hash) {
+  const std::size_t index = hash >> (64 - kPrecision);
+  const std::uint64_t rest = hash << kPrecision;
+  // Rank = position of the leftmost 1 in the remaining bits (1-based);
+  // all-zero rest maps to the maximum rank.
+  const int rank =
+      rest == 0 ? (64 - kPrecision + 1) : std::countl_zero(rest) + 1;
+  registers_[index] =
+      std::max(registers_[index], static_cast<std::uint8_t>(rank));
+}
+
+void Hll::Add(std::string_view key) {
+  AddHash(Fnv1a(key.data(), key.size()));
+}
+
+void Hll::Add(const net::IpAddress& address) {
+  if (address.is_v4()) {
+    auto bytes = address.v4().ToBytes();
+    std::uint8_t tagged[5] = {4, bytes[0], bytes[1], bytes[2], bytes[3]};
+    AddHash(Fnv1a(tagged, sizeof tagged));
+  } else {
+    const auto& bytes = address.v6().bytes();
+    std::uint8_t tagged[17];
+    tagged[0] = 6;
+    std::copy(bytes.begin(), bytes.end(), tagged + 1);
+    AddHash(Fnv1a(tagged, sizeof tagged));
+  }
+}
+
+double Hll::Estimate() const {
+  constexpr double m = static_cast<double>(kRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+
+  double sum = 0;
+  int zeros = 0;
+  for (std::uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -reg);
+    zeros += reg == 0;
+  }
+  double estimate = alpha * m * m / sum;
+
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is small.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void Hll::Merge(const Hll& other) {
+  for (std::size_t i = 0; i < kRegisters; ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace clouddns::entrada

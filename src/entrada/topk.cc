@@ -1,0 +1,64 @@
+#include "entrada/topk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clouddns::entrada {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SpaceSaving: capacity must be positive");
+  }
+}
+
+void SpaceSaving::Add(const std::string& key, std::uint64_t weight) {
+  total_ += weight;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Counter{key, weight, 0});
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error
+  // bound (the Space-Saving invariant: estimates never underestimate).
+  auto min_it = counters_.begin();
+  for (auto candidate = counters_.begin(); candidate != counters_.end();
+       ++candidate) {
+    if (candidate->second.count < min_it->second.count) min_it = candidate;
+  }
+  Counter replacement;
+  replacement.key = key;
+  replacement.error = min_it->second.count;
+  replacement.count = min_it->second.count + weight;
+  counters_.erase(min_it);
+  counters_.emplace(key, std::move(replacement));
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::Top(std::size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    entries.push_back({counter.key, counter.count, counter.error});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;  // deterministic ties
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::uint64_t SpaceSaving::MaxError() const {
+  if (counters_.size() < capacity_) return 0;
+  std::uint64_t min_count = ~std::uint64_t{0};
+  for (const auto& [key, counter] : counters_) {
+    min_count = std::min(min_count, counter.count);
+  }
+  return min_count;
+}
+
+}  // namespace clouddns::entrada

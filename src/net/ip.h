@@ -1,0 +1,134 @@
+// IPv4/IPv6 address value types with self-contained parsing and formatting.
+//
+// These deliberately avoid the platform's inet_pton/inet_ntop so the whole
+// pipeline is portable and testable without socket headers, and so the
+// formatter is deterministic (RFC 5952 canonical form for IPv6).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace clouddns::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order_bits)
+      : bits_(host_order_bits) {}
+  /// Builds from the four dotted-quad octets, most significant first.
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Rejects leading zeros in
+  /// multi-digit octets, out-of-range octets, and trailing garbage.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad text form.
+  [[nodiscard]] std::string ToString() const;
+
+  /// Network-order bytes, most significant first.
+  [[nodiscard]] std::array<std::uint8_t, 4> ToBytes() const;
+  static Ipv4Address FromBytes(const std::array<std::uint8_t, 4>& bytes);
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv6 address as 16 network-order bytes.
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() : bytes_{} {}
+  constexpr explicit Ipv6Address(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Builds from the eight 16-bit groups, most significant first.
+  static Ipv6Address FromGroups(const std::array<std::uint16_t, 8>& groups);
+
+  /// Parses RFC 4291 text forms, including "::" compression and embedded
+  /// IPv4 tails ("::ffff:192.0.2.1").
+  static std::optional<Ipv6Address> Parse(std::string_view text);
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::uint16_t group(int i) const {
+    return static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * i)]
+                                       << 8) |
+                                      bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  }
+
+  /// RFC 5952 canonical text form (lowercase hex, longest zero run
+  /// compressed, ties broken towards the first run).
+  [[nodiscard]] std::string ToString() const;
+
+  friend auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+/// Either family, as used by capture records and the AS database.
+class IpAddress {
+ public:
+  IpAddress() : addr_(Ipv4Address{}) {}
+  IpAddress(Ipv4Address v4) : addr_(v4) {}          // NOLINT(google-explicit-constructor)
+  IpAddress(Ipv6Address v6) : addr_(std::move(v6)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Parses either family from text.
+  static std::optional<IpAddress> Parse(std::string_view text);
+
+  [[nodiscard]] bool is_v4() const {
+    return std::holds_alternative<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] bool is_v6() const { return !is_v4(); }
+
+  [[nodiscard]] const Ipv4Address& v4() const {
+    return std::get<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] const Ipv6Address& v6() const {
+    return std::get<Ipv6Address>(addr_);
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  /// Bit `i` (0 = most significant) of the address, for radix-trie walks.
+  [[nodiscard]] bool bit(int i) const;
+  /// 32 for IPv4, 128 for IPv6.
+  [[nodiscard]] int bit_width() const { return is_v4() ? 32 : 128; }
+
+  friend bool operator==(const IpAddress&, const IpAddress&) = default;
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  std::variant<Ipv4Address, Ipv6Address> addr_;
+};
+
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& a) const noexcept;
+};
+
+/// A transport endpoint (address + port), used to label packet sources.
+struct Endpoint {
+  IpAddress address;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string ToString() const;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+}  // namespace clouddns::net

@@ -1,0 +1,89 @@
+#include "net/prefix.h"
+
+#include <algorithm>
+
+namespace clouddns::net {
+
+IpAddress MaskAddress(const IpAddress& addr, int length) {
+  if (addr.is_v4()) {
+    std::uint32_t mask =
+        length <= 0 ? 0u
+                    : (length >= 32 ? ~0u : ~0u << (32 - length));
+    return Ipv4Address(addr.v4().bits() & mask);
+  }
+  auto bytes = addr.v6().bytes();
+  int clamped = std::clamp(length, 0, 128);
+  for (int i = 0; i < 16; ++i) {
+    int bits_before = i * 8;
+    if (bits_before >= clamped) {
+      bytes[static_cast<std::size_t>(i)] = 0;
+    } else if (bits_before + 8 > clamped) {
+      int keep = clamped - bits_before;
+      bytes[static_cast<std::size_t>(i)] &=
+          static_cast<std::uint8_t>(0xff << (8 - keep));
+    }
+  }
+  return Ipv6Address(bytes);
+}
+
+Prefix::Prefix(IpAddress address, int length)
+    : length_(std::clamp(length, 0, address.bit_width())) {
+  address_ = MaskAddress(address, length_);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = IpAddress::Parse(text);
+    if (!addr) return std::nullopt;
+    return Prefix(*addr, addr->bit_width());
+  }
+  auto addr = IpAddress::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 3) return std::nullopt;
+  int len = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > addr->bit_width()) return std::nullopt;
+  return Prefix(*addr, len);
+}
+
+bool Prefix::Contains(const IpAddress& addr) const {
+  if (addr.is_v4() != address_.is_v4()) return false;
+  return MaskAddress(addr, length_) == address_;
+}
+
+bool Prefix::Contains(const Prefix& other) const {
+  if (other.is_v4() != is_v4()) return false;
+  if (other.length_ < length_) return false;
+  return Contains(other.address_);
+}
+
+std::string Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+IpAddress HostInPrefix(const Prefix& prefix, std::uint64_t index) {
+  if (prefix.is_v4()) {
+    int host_bits = 32 - prefix.length();
+    std::uint32_t span = host_bits >= 32
+                             ? ~0u
+                             : ((1u << host_bits) - 1u);
+    std::uint32_t offset =
+        span == 0 ? 0 : static_cast<std::uint32_t>(index % (std::uint64_t{span} + 1));
+    return Ipv4Address(prefix.address().v4().bits() | offset);
+  }
+  // IPv6: place the index in the low 64 bits (fleets never exceed 2^64 hosts
+  // and prefixes we generate are /64 or shorter).
+  auto bytes = prefix.address().v6().bytes();
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(15 - i)] |=
+        static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  return Ipv6Address(bytes);
+}
+
+}  // namespace clouddns::net

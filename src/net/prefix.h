@@ -1,0 +1,50 @@
+// CIDR prefixes over either address family.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+
+namespace clouddns::net {
+
+/// A network prefix in CIDR form. The stored address is always masked to the
+/// prefix length, so two equal prefixes compare equal regardless of the host
+/// bits they were built from.
+class Prefix {
+ public:
+  Prefix() = default;
+  Prefix(IpAddress address, int length);
+
+  /// Parses "a.b.c.d/len" or "v6::/len". A bare address parses as a host
+  /// prefix (/32 or /128).
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  [[nodiscard]] const IpAddress& address() const { return address_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] bool is_v4() const { return address_.is_v4(); }
+
+  /// True when `addr` falls inside this prefix (families must match).
+  [[nodiscard]] bool Contains(const IpAddress& addr) const;
+  /// True when `other` is equal to or more specific than this prefix.
+  [[nodiscard]] bool Contains(const Prefix& other) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddress address_;
+  int length_ = 0;
+};
+
+/// Clears all bits of `addr` past the first `length` bits.
+IpAddress MaskAddress(const IpAddress& addr, int length);
+
+/// The `index`-th host address inside `prefix` (index 0 is the network
+/// address). Used by fleet generators to mint resolver addresses. Wraps
+/// within the host space if `index` exceeds it.
+IpAddress HostInPrefix(const Prefix& prefix, std::uint64_t index);
+
+}  // namespace clouddns::net

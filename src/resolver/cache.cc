@@ -1,0 +1,145 @@
+#include "resolver/cache.h"
+
+namespace clouddns::resolver {
+namespace {
+
+std::string AnswerKey(const dns::Name& qname, dns::RrType qtype) {
+  return qname.ToKey() + "/" + std::string(ToString(qtype));
+}
+
+std::string NxKey(const dns::Name& qname) { return qname.ToKey() + "/!"; }
+
+}  // namespace
+
+void DnsCache::Put(const dns::Name& qname, dns::RrType qtype,
+                   CachedAnswer answer) {
+  std::string key = AnswerKey(qname, qtype);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.answer = std::move(answer);
+    Touch(it->second, key);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{std::move(answer), lru_.begin()});
+  EvictIfNeeded();
+}
+
+void DnsCache::PutNxDomain(const dns::Name& qname, sim::TimeUs expires_at) {
+  std::string key = NxKey(qname);
+  CachedAnswer answer;
+  answer.rcode = dns::Rcode::kNxDomain;
+  answer.expires_at = expires_at;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.answer = std::move(answer);
+    Touch(it->second, key);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{std::move(answer), lru_.begin()});
+  EvictIfNeeded();
+}
+
+const CachedAnswer* DnsCache::Get(const dns::Name& qname, dns::RrType qtype,
+                                  sim::TimeUs now) {
+  std::string key = AnswerKey(qname, qtype);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.answer.expires_at <= now) {
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  Touch(it->second, key);
+  return &it->second.answer;
+}
+
+bool DnsCache::IsNxDomain(const dns::Name& qname, sim::TimeUs now) {
+  std::string key = NxKey(qname);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.answer.expires_at <= now) {
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    return false;
+  }
+  Touch(it->second, key);
+  return true;
+}
+
+void DnsCache::Touch(Entry& entry, const std::string& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void DnsCache::EvictIfNeeded() {
+  while (entries_.size() > max_entries_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void InfraCache::Put(ZoneEntry entry) {
+  zones_[entry.apex.ToKey()] = std::move(entry);
+}
+
+ZoneEntry* InfraCache::Get(const dns::Name& apex, sim::TimeUs now) {
+  auto it = zones_.find(apex.ToKey());
+  if (it == zones_.end()) return nullptr;
+  if (it->second.expires_at <= now) {
+    zones_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+ZoneEntry* InfraCache::DeepestEnclosing(const dns::Name& qname,
+                                        sim::TimeUs now) {
+  for (std::size_t labels = qname.LabelCount();; --labels) {
+    if (ZoneEntry* entry = Get(qname.Suffix(labels), now)) return entry;
+    if (labels == 0) break;
+  }
+  return nullptr;
+}
+
+void NsecRangeCache::Put(const dns::Name& zone_apex, Range range) {
+  // Owner == next is a degenerate (empty) range; owner == qname proofs
+  // from NODATA white lies are stored too but can never cover anything.
+  zones_[zone_apex.ToKey()][range.prev] = std::move(range);
+}
+
+bool NsecRangeCache::Covers(const dns::Name& zone_apex, const dns::Name& qname,
+                            sim::TimeUs now) {
+  auto zone_it = zones_.find(zone_apex.ToKey());
+  if (zone_it == zones_.end()) return false;
+  RangeMap& ranges = zone_it->second;
+  auto it = ranges.upper_bound(qname);  // first range with prev > qname
+  if (it == ranges.begin()) return false;
+  --it;
+  const Range& range = it->second;
+  if (range.expires_at <= now) {
+    ranges.erase(it);
+    return false;
+  }
+  if (range.prev.Compare(qname) >= 0) return false;  // prev must exist
+  // Wrapping range: next == apex means "past the last name in the zone".
+  bool covered = range.next.Equals(zone_apex)
+                     ? qname.IsSubdomainOf(zone_apex)
+                     : qname.Compare(range.next) < 0;
+  if (covered) ++hits_;
+  return covered;
+}
+
+std::size_t NsecRangeCache::size() const {
+  std::size_t total = 0;
+  for (const auto& [apex, ranges] : zones_) total += ranges.size();
+  return total;
+}
+
+}  // namespace clouddns::resolver

@@ -1,0 +1,130 @@
+// Resolver-side caches.
+//
+// DnsCache holds positive and negative answers (RFC 2308 semantics: NODATA
+// is cached per qname+type, NXDOMAIN per qname). InfraCache holds the
+// "infrastructure" view — delegation NS sets, their addresses, DS presence,
+// and fetched DNSKEYs — which is what makes an iterative resolver send only
+// cache-miss traffic to the authoritatives, the property §2 of the paper
+// leans on ("we only see DNS cache misses").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/record.h"
+#include "dns/types.h"
+#include "net/ip.h"
+#include "sim/clock.h"
+
+namespace clouddns::resolver {
+
+struct CachedAnswer {
+  dns::Rcode rcode = dns::Rcode::kNoError;
+  std::vector<dns::ResourceRecord> records;
+  sim::TimeUs expires_at = 0;
+};
+
+/// Positive/negative answer cache with TTL expiry and LRU eviction.
+class DnsCache {
+ public:
+  explicit DnsCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  void Put(const dns::Name& qname, dns::RrType qtype, CachedAnswer answer);
+  /// NXDOMAIN entries are stored under the qname alone and match any type.
+  void PutNxDomain(const dns::Name& qname, sim::TimeUs expires_at);
+
+  [[nodiscard]] const CachedAnswer* Get(const dns::Name& qname,
+                                        dns::RrType qtype, sim::TimeUs now);
+  [[nodiscard]] bool IsNxDomain(const dns::Name& qname, sim::TimeUs now);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    CachedAnswer answer;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(Entry& entry, const std::string& key);
+  void EvictIfNeeded();
+
+  std::size_t max_entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// What the resolver knows about one delegated zone.
+struct ZoneEntry {
+  dns::Name apex;
+  std::vector<dns::Name> ns_names;
+  std::vector<net::IpAddress> v4_addresses;
+  std::vector<net::IpAddress> v6_addresses;
+  sim::TimeUs expires_at = 0;
+  /// DS state: unknown until fetched from the parent (validators only).
+  enum class Ds { kUnknown, kPresent, kAbsent } ds = Ds::kUnknown;
+  /// When the zone's DNSKEY RRset was last fetched; refetch after TTL.
+  sim::TimeUs dnskey_expires_at = 0;
+};
+
+class InfraCache {
+ public:
+  void Put(ZoneEntry entry);
+  [[nodiscard]] ZoneEntry* Get(const dns::Name& apex, sim::TimeUs now);
+
+  /// Deepest cached zone at-or-above `qname` that has not expired; the
+  /// resolution walk starts there instead of the root.
+  [[nodiscard]] ZoneEntry* DeepestEnclosing(const dns::Name& qname,
+                                            sim::TimeUs now);
+
+  [[nodiscard]] std::size_t size() const { return zones_.size(); }
+
+ private:
+  std::unordered_map<std::string, ZoneEntry> zones_;
+};
+
+/// Aggressive NSEC cache (RFC 8198): validated denial *ranges* from signed
+/// zones. A cached range [prev, next) lets the resolver synthesize
+/// NXDOMAIN for any name it covers without asking the authoritative —
+/// which is how large validating resolvers absorb random-name junk before
+/// it reaches the root (§4.2.3 of the paper).
+class NsecRangeCache {
+ public:
+  struct Range {
+    dns::Name prev;
+    dns::Name next;
+    sim::TimeUs expires_at = 0;
+  };
+
+  void Put(const dns::Name& zone_apex, Range range);
+
+  /// True when an unexpired cached range of `zone_apex` proves `qname`
+  /// does not exist (strictly inside (prev, next), or past the last name
+  /// when the range wraps to the apex).
+  [[nodiscard]] bool Covers(const dns::Name& zone_apex,
+                            const dns::Name& qname, sim::TimeUs now);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct NameCanonicalLess {
+    bool operator()(const dns::Name& a, const dns::Name& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  using RangeMap = std::map<dns::Name, Range, NameCanonicalLess>;
+
+  std::unordered_map<std::string, RangeMap> zones_;  // key: apex ToKey()
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace clouddns::resolver

@@ -1,0 +1,511 @@
+#include "resolver/resolver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clouddns::resolver {
+namespace {
+
+constexpr double kDefaultSrttUs = 50'000.0;  // optimistic prior: 50 ms
+constexpr sim::TimeUs kMaxPositiveTtl = 86'400ull * sim::kMicrosPerSecond;
+constexpr sim::TimeUs kDefaultNegativeTtl = 600ull * sim::kMicrosPerSecond;
+constexpr sim::TimeUs kMaxInfraTtl = 172'800ull * sim::kMicrosPerSecond;
+
+/// Removes a key from the in-flight set on scope exit.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::unordered_set<std::string>& set, std::string key)
+      : set_(set), key_(std::move(key)) {
+    set_.insert(key_);
+  }
+  ~InFlightGuard() { set_.erase(key_); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::unordered_set<std::string>& set_;
+  std::string key_;
+};
+
+sim::TimeUs NegativeTtlFrom(const dns::Message& response) {
+  for (const auto& rr : response.authorities) {
+    if (rr.type == dns::RrType::kSoa) {
+      const auto& soa = std::get<dns::SoaRdata>(rr.rdata);
+      std::uint32_t ttl = std::min(rr.ttl, soa.minimum);
+      return std::max<sim::TimeUs>(1, ttl) * sim::kMicrosPerSecond;
+    }
+  }
+  return kDefaultNegativeTtl;
+}
+
+sim::TimeUs PositiveTtlFrom(const std::vector<dns::ResourceRecord>& records) {
+  std::uint32_t ttl = 0xffffffffu;
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  sim::TimeUs ttl_us =
+      static_cast<sim::TimeUs>(std::max<std::uint32_t>(ttl, 1)) *
+      sim::kMicrosPerSecond;
+  return std::min(ttl_us, kMaxPositiveTtl);
+}
+
+/// A referral is a non-authoritative NOERROR with NS records in authority.
+const dns::ResourceRecord* ReferralNs(const dns::Message& response) {
+  if (response.header.aa || response.header.rcode != dns::Rcode::kNoError) {
+    return nullptr;
+  }
+  if (!response.answers.empty()) return nullptr;
+  for (const auto& rr : response.authorities) {
+    if (rr.type == dns::RrType::kNs) return &rr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RecursiveResolver::RecursiveResolver(sim::Network& network,
+                                     ResolverConfig config,
+                                     std::vector<net::IpAddress> root_v4,
+                                     std::vector<net::IpAddress> root_v6)
+    : network_(network),
+      config_(std::move(config)),
+      cache_(config_.max_cache_entries),
+      rng_(config_.seed) {
+  root_.apex = dns::Name{};
+  root_.v4_addresses = std::move(root_v4);
+  root_.v6_addresses = std::move(root_v6);
+  root_.expires_at = ~sim::TimeUs{0};  // hints never expire
+  // The root trust anchor is configured, so from a validator's view the
+  // root always "has a DS".
+  root_.ds = ZoneEntry::Ds::kPresent;
+}
+
+ZoneEntry* RecursiveResolver::RootEntry(sim::TimeUs /*now*/) { return &root_; }
+
+RecursiveResolver::Result RecursiveResolver::Resolve(const dns::Name& qname,
+                                                     dns::RrType qtype,
+                                                     sim::TimeUs now) {
+  int budget = config_.max_upstream_queries;
+  int before = static_cast<int>(upstream_total_);
+  Result result = ResolveInternal(qname, qtype, now, budget, 0);
+  result.upstream_queries = static_cast<int>(upstream_total_) - before;
+  if (result.rcode == dns::Rcode::kServFail && !result.from_cache &&
+      config_.servfail_cache_ttl > 0) {
+    // RFC 2308 §7: cache the failure briefly so a broken domain does not
+    // trigger a full (expensive) re-resolution per client query.
+    CachedAnswer failure;
+    failure.rcode = dns::Rcode::kServFail;
+    failure.expires_at =
+        now + std::min<sim::TimeUs>(config_.servfail_cache_ttl,
+                                    300ull * sim::kMicrosPerSecond);
+    cache_.Put(qname, qtype, failure);
+  }
+  return result;
+}
+
+RecursiveResolver::Result RecursiveResolver::ResolveInternal(
+    const dns::Name& qname, dns::RrType qtype, sim::TimeUs now, int& budget,
+    int depth) {
+  Result result;
+  if (depth > 6) return result;  // glueless chain too deep
+
+  if (cache_.IsNxDomain(qname, now)) {
+    result.rcode = dns::Rcode::kNxDomain;
+    result.from_cache = true;
+    return result;
+  }
+  if (const CachedAnswer* hit = cache_.Get(qname, qtype, now)) {
+    result.rcode = hit->rcode;
+    result.records = hit->records;
+    result.from_cache = true;
+    return result;
+  }
+
+  std::string flight_key =
+      qname.ToKey() + "/" + std::string(ToString(qtype));
+  if (in_flight_.contains(flight_key)) {
+    return result;  // dependency cycle (e.g. mutually glueless NS)
+  }
+  InFlightGuard guard(in_flight_, flight_key);
+
+  ZoneEntry* zone = infra_.DeepestEnclosing(qname, now);
+  if (zone == nullptr) zone = RootEntry(now);
+
+  if (config_.validate_dnssec) FetchDnskeyIfNeeded(*zone, now, budget);
+
+  std::size_t reveal = std::min(zone->apex.LabelCount() + 1,
+                                qname.LabelCount());
+  // RFC 7816 §3 fallback: after a failure on the minimized walk the
+  // resolver retries once with the full query name. During the .nz cyclic-
+  // dependency event this is what turned Google's minimized NS walk into
+  // the flood of full A/AAAA queries the TLD observed (Fig. 3b).
+  bool qmin_fallback = false;
+
+  for (int iteration = 0; iteration < 24; ++iteration) {
+    dns::Name q_name = qname;
+    dns::RrType q_type = qtype;
+    if (QminActive(now) && !qmin_fallback &&
+        reveal < qname.LabelCount()) {
+      q_name = qname.Suffix(reveal);
+      q_type = dns::RrType::kNs;
+    }
+    const bool is_final = q_name.Equals(qname) && q_type == qtype;
+
+    if (config_.aggressive_nsec_caching && config_.validate_dnssec &&
+        nsec_cache_.Covers(zone->apex, q_name, now)) {
+      // RFC 8198: a validated cached NSEC range proves the name cannot
+      // exist — answer NXDOMAIN without contacting the authoritative.
+      cache_.PutNxDomain(q_name, now + kDefaultNegativeTtl);
+      result.rcode = dns::Rcode::kNxDomain;
+      return result;
+    }
+
+    Upstream reply = Send(*zone, q_name, q_type, now, budget);
+    if (!reply.ok) return result;  // SERVFAIL
+    const dns::Message& response = reply.response;
+
+    if (response.header.rcode == dns::Rcode::kNxDomain) {
+      // A minimized intermediate NXDOMAIN proves the full name cannot
+      // exist either.
+      cache_.PutNxDomain(q_name, now + NegativeTtlFrom(response));
+      if (config_.aggressive_nsec_caching && config_.validate_dnssec) {
+        for (const auto& rr : response.authorities) {
+          if (rr.type != dns::RrType::kNsec) continue;
+          const auto& nsec = std::get<dns::NsecRdata>(rr.rdata);
+          NsecRangeCache::Range range;
+          range.prev = rr.name;
+          range.next = nsec.next;
+          range.expires_at =
+              now + static_cast<sim::TimeUs>(std::max<std::uint32_t>(
+                        rr.ttl, 1)) *
+                        sim::kMicrosPerSecond;
+          nsec_cache_.Put(zone->apex, std::move(range));
+        }
+      }
+      result.rcode = dns::Rcode::kNxDomain;
+      return result;
+    }
+    if (response.header.rcode != dns::Rcode::kNoError) {
+      return result;  // REFUSED/SERVFAIL upstream -> SERVFAIL
+    }
+
+    if (const dns::ResourceRecord* ns = ReferralNs(response)) {
+      const dns::Name& cut = ns->name;
+      if (!cut.IsSubdomainOf(zone->apex) || cut.Equals(zone->apex) ||
+          !qname.IsSubdomainOf(cut)) {
+        return result;  // malformed referral
+      }
+      ZoneEntry child = ZoneFromReferral(response, cut, now);
+      if (config_.validate_dnssec) {
+        if (config_.explicit_ds_fetch) {
+          FetchDsIfNeeded(*zone, child, now, budget);
+        } else if (zone->ds == ZoneEntry::Ds::kPresent) {
+          // DO=1 referrals from signed parents carry the child DS set; use
+          // it instead of a separate DS round trip.
+          bool present = false;
+          for (const auto& rr : response.authorities) {
+            if (rr.type == dns::RrType::kDs && rr.name.Equals(cut)) {
+              present = true;
+              break;
+            }
+          }
+          child.ds = present ? ZoneEntry::Ds::kPresent : ZoneEntry::Ds::kAbsent;
+        } else {
+          child.ds = ZoneEntry::Ds::kAbsent;
+        }
+      }
+      if (!EnsureAddresses(child, now, budget, depth)) {
+        if (QminActive(now) && !qmin_fallback) {
+          qmin_fallback = true;  // retry this zone with the full qname
+          continue;
+        }
+        return result;  // glueless chase failed (cycle or budget)
+      }
+      dns::Name child_apex = child.apex;
+      infra_.Put(std::move(child));
+      zone = infra_.Get(child_apex, now);
+      if (zone == nullptr) return result;
+      if (config_.validate_dnssec && zone->ds == ZoneEntry::Ds::kPresent) {
+        FetchDnskeyIfNeeded(*zone, now, budget);
+      }
+      reveal = std::min(std::max(reveal, zone->apex.LabelCount() + 1),
+                        qname.LabelCount());
+      continue;
+    }
+
+    if (!response.answers.empty()) {
+      if (is_final) {
+        CachedAnswer answer;
+        answer.rcode = dns::Rcode::kNoError;
+        answer.records = response.answers;
+        answer.expires_at = now + PositiveTtlFrom(response.answers);
+        cache_.Put(qname, qtype, answer);
+        result.rcode = dns::Rcode::kNoError;
+        result.records = response.answers;
+        return result;
+      }
+      // Intermediate minimized NS answered positively: the label exists;
+      // reveal the next one.
+      ++reveal;
+      continue;
+    }
+
+    // NODATA.
+    if (is_final) {
+      CachedAnswer answer;
+      answer.rcode = dns::Rcode::kNoError;
+      answer.expires_at = now + NegativeTtlFrom(response);
+      cache_.Put(qname, qtype, answer);
+      result.rcode = dns::Rcode::kNoError;
+      return result;
+    }
+    ++reveal;  // RFC 7816: NODATA on the minimized query -> keep walking
+  }
+  return result;
+}
+
+RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
+                                                    const dns::Name& qname,
+                                                    dns::RrType qtype,
+                                                    sim::TimeUs now,
+                                                    int& budget) {
+  Upstream failure;
+  if (budget <= 0) return failure;
+
+  // Pick the egress host FIRST (uniform over the frontend pool), then let
+  // the host's capabilities decide the family: single-stack hosts have no
+  // choice; dual-stack hosts prefer the family with the lower smoothed
+  // RTT, modulated by operator policy. This is what ties the fleet's
+  // dual-stack composition (Table 6) to its traffic split (Table 5).
+  const EgressHost* host = nullptr;
+  bool can_v4 = false, can_v6 = false;
+  for (int attempt = 0; attempt < 8 && host == nullptr; ++attempt) {
+    const EgressHost& candidate =
+        config_.hosts[rng_.NextBelow(config_.hosts.size())];
+    can_v4 = candidate.v4.has_value() && !zone.v4_addresses.empty();
+    can_v6 = candidate.v6.has_value() && !zone.v6_addresses.empty();
+    if (can_v4 || can_v6) host = &candidate;
+  }
+  if (host == nullptr) return failure;
+
+  auto estimate = [this, &host](const net::IpAddress& addr) {
+    auto it = srtt_.find(SrttKey(host->site, addr));
+    return it != srtt_.end() ? std::optional<double>(it->second)
+                             : std::nullopt;
+  };
+
+  // Server selection (Müller et al. [30]): resolvers favour low-RTT
+  // authoritatives but keep probing the rest — modelled as uniform choice
+  // within an RTT band of the best estimate, plus 8% pure exploration.
+  // The *nameserver* is chosen family-agnostically (its best family's
+  // estimate ranks it); the family is decided afterwards on that server's
+  // address pair. Coupling them this way keeps each NS's captured traffic
+  // an unbiased sample of the resolver's family mix.
+  struct Candidate {
+    const net::IpAddress* v4 = nullptr;
+    const net::IpAddress* v6 = nullptr;
+  };
+  std::vector<Candidate> candidates;
+  const bool paired = can_v4 && can_v6 &&
+                      zone.v4_addresses.size() == zone.v6_addresses.size();
+  if (paired) {
+    for (std::size_t i = 0; i < zone.v4_addresses.size(); ++i) {
+      candidates.push_back({&zone.v4_addresses[i], &zone.v6_addresses[i]});
+    }
+  } else if (can_v4) {
+    for (const auto& addr : zone.v4_addresses) {
+      candidates.push_back({&addr, nullptr});
+    }
+  } else {
+    for (const auto& addr : zone.v6_addresses) {
+      candidates.push_back({nullptr, &addr});
+    }
+  }
+
+  auto candidate_srtt = [&estimate](const Candidate& c) {
+    std::optional<double> best;
+    for (const net::IpAddress* addr : {c.v4, c.v6}) {
+      if (addr == nullptr) continue;
+      auto e = estimate(*addr);
+      if (e && (!best || *e < *best)) best = e;
+    }
+    return best.value_or(kDefaultSrttUs);
+  };
+
+  const Candidate* picked = &candidates.front();
+  if (candidates.size() > 1) {
+    if (rng_.NextDouble() < 0.08) {
+      picked = &candidates[rng_.NextBelow(candidates.size())];
+    } else {
+      double best = 1e18;
+      for (const auto& c : candidates) {
+        best = std::min(best, candidate_srtt(c));
+      }
+      std::vector<const Candidate*> band;
+      for (const auto& c : candidates) {
+        if (candidate_srtt(c) <= best * 1.6) band.push_back(&c);
+      }
+      picked = band[rng_.NextBelow(band.size())];
+    }
+  }
+
+  // Family choice on the picked server: dual-stack hosts weigh the two
+  // families by smoothed RTT (an unmeasured family inherits the other's
+  // estimate so exploration is unbiased), single-stack hosts have no say.
+  bool use_v6;
+  if (can_v4 && can_v6 && picked->v4 != nullptr && picked->v6 != nullptr) {
+    auto m4 = estimate(*picked->v4);
+    auto m6 = estimate(*picked->v6);
+    double rtt4 = m4.value_or(m6.value_or(kDefaultSrttUs));
+    double rtt6 = m6.value_or(m4.value_or(kDefaultSrttUs));
+    double w4 = std::pow(1.0 / rtt4, config_.family_preference_sharpness);
+    double w6 = std::pow(1.0 / rtt6, config_.family_preference_sharpness) *
+                config_.v6_weight_multiplier;
+    use_v6 = rng_.NextDouble() < w6 / (w4 + w6);
+  } else {
+    use_v6 = !(can_v4 && picked->v4 != nullptr);
+  }
+  const net::IpAddress* server = use_v6 ? picked->v6 : picked->v4;
+  net::Endpoint src{use_v6 ? *host->v6 : *host->v4,
+                    static_cast<std::uint16_t>(1024 + rng_.NextBelow(60000))};
+
+  std::optional<dns::EdnsInfo> edns;
+  if (config_.edns_udp_size > 0) {
+    edns = dns::EdnsInfo{config_.edns_udp_size, config_.validate_dnssec, 0};
+  }
+  dns::Message query = dns::Message::MakeQuery(
+      static_cast<std::uint16_t>(rng_.Next()), qname, qtype, edns);
+  dns::WireBuffer wire = query.Encode();
+
+  --budget;
+  ++upstream_total_;
+  auto sent = network_.Query(src, host->site, *server, dns::Transport::kUdp,
+                             wire, now);
+  if (!sent.delivered) return failure;
+
+  std::uint64_t srtt_key = SrttKey(host->site, *server);
+  auto it = srtt_.find(srtt_key);
+  if (it == srtt_.end()) {
+    srtt_.emplace(srtt_key, static_cast<double>(sent.rtt_us));
+  } else {
+    it->second = 0.75 * it->second + 0.25 * static_cast<double>(sent.rtt_us);
+  }
+
+  auto response = dns::Message::Decode(sent.response);
+  if (!response || response->header.id != query.header.id) return failure;
+
+  if (response->header.tc) {
+    // Truncated UDP answer: retry over TCP (RFC 1035 §4.2.2). This is also
+    // the RRL "slip" recovery path.
+    if (budget <= 0) return failure;
+    --budget;
+    ++upstream_total_;
+    auto tcp = network_.Query(src, host->site, *server, dns::Transport::kTcp,
+                              wire, now);
+    if (!tcp.delivered) return failure;
+    response = dns::Message::Decode(tcp.response);
+    if (!response || response->header.id != query.header.id) return failure;
+  }
+
+  Upstream ok;
+  ok.ok = true;
+  ok.response = std::move(*response);
+  return ok;
+}
+
+ZoneEntry RecursiveResolver::ZoneFromReferral(const dns::Message& response,
+                                              const dns::Name& cut,
+                                              sim::TimeUs now) const {
+  ZoneEntry entry;
+  entry.apex = cut;
+  std::uint32_t ns_ttl = 3600;
+  for (const auto& rr : response.authorities) {
+    if (rr.type == dns::RrType::kNs && rr.name.Equals(cut)) {
+      entry.ns_names.push_back(std::get<dns::NsRdata>(rr.rdata).nameserver);
+      ns_ttl = rr.ttl;
+    }
+  }
+  for (const auto& rr : response.additionals) {
+    if (rr.type == dns::RrType::kA) {
+      entry.v4_addresses.push_back(std::get<dns::ARdata>(rr.rdata).address);
+    } else if (rr.type == dns::RrType::kAaaa) {
+      entry.v6_addresses.push_back(
+          std::get<dns::AaaaRdata>(rr.rdata).address);
+    }
+  }
+  sim::TimeUs ttl_us = static_cast<sim::TimeUs>(std::max<std::uint32_t>(
+                           ns_ttl, 60)) *
+                       sim::kMicrosPerSecond;
+  entry.expires_at = now + std::min(ttl_us, kMaxInfraTtl);
+  return entry;
+}
+
+bool RecursiveResolver::EnsureAddresses(ZoneEntry& zone, sim::TimeUs now,
+                                        int& budget, int depth) {
+  if (!zone.v4_addresses.empty() || !zone.v6_addresses.empty()) return true;
+  // Glueless delegation: resolve the nameserver names themselves. Resolvers
+  // fetch both A and AAAA for their upstream targets when dual-stack.
+  bool want_v6 = false;
+  for (const auto& host : config_.hosts) want_v6 |= host.v6.has_value();
+
+  for (const auto& ns_name : zone.ns_names) {
+    Result a = ResolveInternal(ns_name, dns::RrType::kA, now, budget,
+                               depth + 1);
+    if (a.rcode == dns::Rcode::kNoError) {
+      for (const auto& rr : a.records) {
+        if (rr.type == dns::RrType::kA) {
+          zone.v4_addresses.push_back(std::get<dns::ARdata>(rr.rdata).address);
+        }
+      }
+    }
+    if (want_v6) {
+      Result aaaa = ResolveInternal(ns_name, dns::RrType::kAaaa, now, budget,
+                                    depth + 1);
+      if (aaaa.rcode == dns::Rcode::kNoError) {
+        for (const auto& rr : aaaa.records) {
+          if (rr.type == dns::RrType::kAaaa) {
+            zone.v6_addresses.push_back(
+                std::get<dns::AaaaRdata>(rr.rdata).address);
+          }
+        }
+      }
+    }
+    if (!zone.v4_addresses.empty() || !zone.v6_addresses.empty()) return true;
+  }
+  return false;
+}
+
+void RecursiveResolver::FetchDsIfNeeded(ZoneEntry& parent, ZoneEntry& child,
+                                        sim::TimeUs now, int& budget) {
+  if (child.ds != ZoneEntry::Ds::kUnknown) return;
+  // Only zones whose parent chain is secure need a DS; an insecure parent
+  // makes the child provably insecure too.
+  if (parent.ds != ZoneEntry::Ds::kPresent) {
+    child.ds = ZoneEntry::Ds::kAbsent;
+    return;
+  }
+  Upstream reply = Send(parent, child.apex, dns::RrType::kDs, now, budget);
+  if (!reply.ok) return;  // leave unknown; retried on next descent
+  bool present = false;
+  for (const auto& rr : reply.response.answers) {
+    if (rr.type == dns::RrType::kDs) {
+      present = true;
+      break;
+    }
+  }
+  child.ds = present ? ZoneEntry::Ds::kPresent : ZoneEntry::Ds::kAbsent;
+}
+
+void RecursiveResolver::FetchDnskeyIfNeeded(ZoneEntry& zone, sim::TimeUs now,
+                                            int& budget) {
+  if (zone.ds != ZoneEntry::Ds::kPresent) return;
+  if (zone.dnskey_expires_at > now) return;
+  Upstream reply = Send(zone, zone.apex, dns::RrType::kDnskey, now, budget);
+  if (!reply.ok) return;
+  std::uint32_t ttl = 3600;
+  for (const auto& rr : reply.response.answers) {
+    if (rr.type == dns::RrType::kDnskey) ttl = rr.ttl;
+  }
+  zone.dnskey_expires_at =
+      now + static_cast<sim::TimeUs>(ttl) * sim::kMicrosPerSecond;
+}
+
+}  // namespace clouddns::resolver

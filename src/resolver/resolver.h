@@ -1,0 +1,158 @@
+// The iterative (recursive-resolving) DNS resolver engine.
+//
+// One RecursiveResolver models one resolver *backend* (a shared cache) that
+// egresses through a pool of frontend hosts — which is how large cloud
+// resolver farms look from an authoritative server's vantage point: few
+// caches, many source addresses. All behaviors the paper measures arise
+// here mechanistically:
+//   - cache-miss-only traffic to authoritatives (answer + infra caches),
+//   - QNAME minimization (RFC 7816) with a configurable rollout instant,
+//   - DNSSEC validation fetch patterns (explicit DS per delegation at the
+//     parent, DNSKEY per zone per TTL),
+//   - EDNS(0) buffer-size policy and TCP fallback on truncated answers,
+//   - dual-stack server selection preferring the lower-RTT family,
+//   - glueless-delegation chasing with cycle detection (the .nz Feb 2020
+//     misconfiguration event in Fig. 3b).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/message.h"
+#include "resolver/cache.h"
+#include "sim/network.h"
+#include "sim/random.h"
+
+namespace clouddns::resolver {
+
+/// One egress frontend: a v4 and/or v6 address at a site. Dual-stack hosts
+/// are what the paper identifies via matching PTR records (§4.3).
+struct EgressHost {
+  std::optional<net::IpAddress> v4;
+  std::optional<net::IpAddress> v6;
+  sim::SiteId site = 0;
+};
+
+struct ResolverConfig {
+  std::vector<EgressHost> hosts;
+  bool qname_minimization = false;
+  /// Q-min activates at this instant (0 = from the beginning); models
+  /// Google's Dec 2019 rollout.
+  sim::TimeUs qmin_enabled_at = 0;
+  bool validate_dnssec = false;
+  /// Aggressive NSEC caching (RFC 8198): synthesize NXDOMAIN locally from
+  /// validated denial ranges. Requires validation. This is what absorbs
+  /// Chromium-style random-TLD junk inside large public resolvers before
+  /// it reaches the root (§4.2.3).
+  bool aggressive_nsec_caching = false;
+  /// Validation style: when true the resolver probes the parent with
+  /// explicit DS queries while building the chain of trust (the pattern
+  /// that makes Cloudflare's DS share at TLDs so visible, Fig. 2d); when
+  /// false it consumes the DS set served inside DO=1 referrals.
+  bool explicit_ds_fetch = false;
+  /// EDNS(0) advertised UDP payload size; 0 disables EDNS entirely.
+  std::uint16_t edns_udp_size = 4096;
+  /// Sharpness of the dual-stack preference: P(v6) is proportional to
+  /// (1/rtt6)^sharpness. Higher = stronger preference for the faster family.
+  double family_preference_sharpness = 4.0;
+  /// Operator policy multiplier on the IPv6 weight: >1 prefers v6 beyond
+  /// what RTT alone justifies (Facebook), <1 avoids v6 despite dual-stack
+  /// frontends (Microsoft).
+  double v6_weight_multiplier = 1.0;
+  std::size_t max_cache_entries = 1 << 20;
+  /// Upstream-query budget per client query (loop/cycle guard).
+  int max_upstream_queries = 40;
+  /// SERVFAIL caching (RFC 2308 §7, capped at 5 minutes by RFC 9520's
+  /// predecessor guidance). 0 disables it — which is how the resolvers of
+  /// the study era behaved during the .nz cyclic-dependency event, where
+  /// failed resolutions were retried in full (Fig. 3b).
+  sim::TimeUs servfail_cache_ttl = 0;
+  std::uint64_t seed = 1;
+};
+
+class RecursiveResolver {
+ public:
+  /// `root_v4`/`root_v6` are the root-server service addresses (hints).
+  RecursiveResolver(sim::Network& network, ResolverConfig config,
+                    std::vector<net::IpAddress> root_v4,
+                    std::vector<net::IpAddress> root_v6);
+
+  struct Result {
+    dns::Rcode rcode = dns::Rcode::kServFail;
+    bool from_cache = false;
+    int upstream_queries = 0;
+    std::vector<dns::ResourceRecord> records;
+  };
+
+  /// Resolves a client query at simulated time `now`.
+  Result Resolve(const dns::Name& qname, dns::RrType qtype, sim::TimeUs now);
+
+  [[nodiscard]] const DnsCache& cache() const { return cache_; }
+  [[nodiscard]] const ResolverConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t upstream_query_count() const {
+    return upstream_total_;
+  }
+  [[nodiscard]] const NsecRangeCache& nsec_cache() const {
+    return nsec_cache_;
+  }
+
+ private:
+  struct Upstream {
+    bool ok = false;
+    dns::Message response;
+  };
+
+  [[nodiscard]] bool QminActive(sim::TimeUs now) const {
+    return config_.qname_minimization && now >= config_.qmin_enabled_at;
+  }
+
+  Result ResolveInternal(const dns::Name& qname, dns::RrType qtype,
+                         sim::TimeUs now, int& budget, int depth);
+
+  /// Sends one upstream query to the given zone's servers (with family and
+  /// server selection, EDNS, and TCP retry on truncation).
+  Upstream Send(ZoneEntry& zone, const dns::Name& qname, dns::RrType qtype,
+                sim::TimeUs now, int& budget);
+
+  /// Ensures addresses for a zone's nameservers, chasing glueless NS
+  /// targets through full resolution (depth-limited, cycle-detected).
+  bool EnsureAddresses(ZoneEntry& zone, sim::TimeUs now, int& budget,
+                       int depth);
+
+  /// Validator chain maintenance: DS fetch at the parent for a new cut,
+  /// DNSKEY fetch per zone per TTL.
+  void FetchDsIfNeeded(ZoneEntry& parent, ZoneEntry& child, sim::TimeUs now,
+                       int& budget);
+  void FetchDnskeyIfNeeded(ZoneEntry& zone, sim::TimeUs now, int& budget);
+
+  /// Builds a ZoneEntry from a referral response.
+  ZoneEntry ZoneFromReferral(const dns::Message& response,
+                             const dns::Name& cut, sim::TimeUs now) const;
+
+  ZoneEntry* RootEntry(sim::TimeUs now);
+
+  sim::Network& network_;
+  ResolverConfig config_;
+  DnsCache cache_;
+  InfraCache infra_;
+  NsecRangeCache nsec_cache_;
+  sim::Rng rng_;
+  ZoneEntry root_;
+  /// Smoothed RTT estimates (microseconds), keyed per (egress site,
+  /// server address): sites see genuinely different RTTs to the same
+  /// anycast service, and mixing their samples into one estimate would
+  /// make the dual-stack preference a noise amplifier.
+  std::unordered_map<std::uint64_t, double> srtt_;
+  [[nodiscard]] static std::uint64_t SrttKey(sim::SiteId site,
+                                             const net::IpAddress& addr) {
+    return (static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ull) ^
+           net::IpAddressHash{}(addr);
+  }
+  /// Names currently being resolved, for glueless-cycle detection.
+  std::unordered_set<std::string> in_flight_;
+  std::uint64_t upstream_total_ = 0;
+};
+
+}  // namespace clouddns::resolver

@@ -1,0 +1,274 @@
+#include "server/auth_server.h"
+
+#include "zone/dnssec.h"
+
+namespace clouddns::server {
+namespace {
+
+// NSEC TTL follows the zone's negative-caching TTL (SOA MINIMUM), as in
+// real signed zones; the root's long TTL is what makes aggressive caching
+// there so effective.
+std::uint32_t NegativeTtlOf(const zone::Zone& zone) {
+  if (const auto* soa_set = zone.Find(zone.apex(), dns::RrType::kSoa)) {
+    return std::get<dns::SoaRdata>(soa_set->front().rdata).minimum;
+  }
+  return 600;
+}
+
+void AttachNsecWithSig(const zone::Zone& zone, const dns::Name& owner,
+                       dns::Name next,
+                       std::vector<dns::ResourceRecord>& section) {
+  const std::uint32_t ttl = NegativeTtlOf(zone);
+  dns::NsecRdata nsec;
+  nsec.next = std::move(next);
+  nsec.types = {dns::RrType::kNs, dns::RrType::kRrsig, dns::RrType::kNsec};
+  section.push_back(dns::ResourceRecord{owner, dns::RrType::kNsec,
+                                        dns::RrClass::kIn, ttl,
+                                        std::move(nsec)});
+  dns::RrsigRdata sig;
+  sig.type_covered = static_cast<std::uint16_t>(dns::RrType::kNsec);
+  sig.algorithm = zone::kMockAlgorithm;
+  sig.labels = static_cast<std::uint8_t>(owner.LabelCount());
+  sig.original_ttl = ttl;
+  sig.key_tag = zone::ZskTagFor(zone.apex());
+  sig.signer = zone.apex();
+  sig.signature = zone::MockSignature(zone.apex(), owner, dns::RrType::kNsec);
+  section.push_back(dns::ResourceRecord{owner, dns::RrType::kRrsig,
+                                        dns::RrClass::kIn, ttl,
+                                        std::move(sig)});
+}
+
+// NXDOMAIN denial: a real *range* NSEC between the denied name's existing
+// canonical neighbours. Besides adding the response bytes that push DO=1
+// negatives past small EDNS buffers, the range is what lets resolvers do
+// aggressive NSEC caching (RFC 8198) — the mechanism §4.2.3 credits for
+// the 2020 drop in cloud junk at the root.
+void AttachRangeDenial(const zone::Zone& zone, const dns::Name& denied,
+                       std::vector<dns::ResourceRecord>& section) {
+  auto range = zone.DenialNeighbors(denied);
+  AttachNsecWithSig(zone, range.prev, range.next, section);
+}
+
+// NODATA denial ("white lies", RFC 4470 style): an NSEC at the name itself
+// whose type bitmap omits the denied type.
+void AttachNoDataProof(const zone::Zone& zone, const dns::Name& denied,
+                       std::vector<dns::ResourceRecord>& section) {
+  // The "next" name is the denied name's immediate successor so the range
+  // covers nothing else; fall back to the apex when at the length limit.
+  dns::Name next = denied.WireLength() + 4 <= dns::Name::kMaxWireLength
+                       ? denied.Child("000")
+                       : zone.apex();
+  AttachNsecWithSig(zone, denied, std::move(next), section);
+}
+
+}  // namespace
+
+void AuthServer::Serve(std::shared_ptr<const zone::Zone> zone) {
+  zones_.push_back(std::move(zone));
+}
+
+const zone::Zone* AuthServer::BestZoneFor(const dns::Name& qname) const {
+  const zone::Zone* best = nullptr;
+  std::size_t best_labels = 0;
+  for (const auto& zone : zones_) {
+    if (!qname.IsSubdomainOf(zone->apex())) continue;
+    std::size_t labels = zone->apex().LabelCount();
+    if (best == nullptr || labels > best_labels) {
+      best = zone.get();
+      best_labels = labels;
+    }
+  }
+  return best;
+}
+
+void AuthServer::AttachRrsigs(const zone::Zone& zone, const dns::Name& owner,
+                              dns::RrType covered,
+                              std::vector<dns::ResourceRecord>& section) const {
+  const auto* sigs = zone.Find(owner, dns::RrType::kRrsig);
+  if (sigs == nullptr) return;
+  for (const auto& sig : *sigs) {
+    const auto& rdata = std::get<dns::RrsigRdata>(sig.rdata);
+    if (rdata.type_covered == static_cast<std::uint16_t>(covered)) {
+      section.push_back(sig);
+    }
+  }
+}
+
+dns::Message AuthServer::Respond(const dns::Message& query) const {
+  dns::Message response = dns::Message::MakeResponse(query);
+  if (query.questions.size() != 1 ||
+      query.header.opcode != dns::Opcode::kQuery) {
+    response.header.rcode = query.questions.empty() ? dns::Rcode::kFormErr
+                                                    : dns::Rcode::kNotImp;
+    return response;
+  }
+  const dns::Question& question = query.questions.front();
+  const bool want_dnssec = query.edns && query.edns->dnssec_ok;
+
+  const zone::Zone* zone = BestZoneFor(question.name);
+  if (zone == nullptr) {
+    response.header.rcode = dns::Rcode::kRefused;
+    return response;
+  }
+
+  zone::LookupResult result = zone->Lookup(question.name, question.type);
+  switch (result.status) {
+    case zone::LookupStatus::kAnswer:
+      response.header.aa = true;
+      response.answers = std::move(result.records);
+      if (want_dnssec && zone->IsSigned() && !response.answers.empty()) {
+        AttachRrsigs(*zone, question.name, response.answers.front().type,
+                     response.answers);
+      }
+      break;
+    case zone::LookupStatus::kDelegation:
+      response.header.aa = false;
+      response.authorities = std::move(result.records);
+      if (want_dnssec) {
+        for (auto& ds : result.ds) response.authorities.push_back(ds);
+        if (zone->IsSigned() && !result.ds.empty()) {
+          AttachRrsigs(*zone, result.cut, dns::RrType::kDs,
+                       response.authorities);
+        }
+      }
+      response.additionals = std::move(result.glue);
+      break;
+    case zone::LookupStatus::kNxDomain:
+      response.header.aa = true;
+      response.header.rcode = dns::Rcode::kNxDomain;
+      response.authorities = std::move(result.soa);
+      if (want_dnssec && zone->IsSigned()) {
+        AttachRrsigs(*zone, zone->apex(), dns::RrType::kSoa,
+                     response.authorities);
+        AttachRangeDenial(*zone, question.name, response.authorities);
+      }
+      break;
+    case zone::LookupStatus::kNoData:
+      response.header.aa = true;
+      response.authorities = std::move(result.soa);
+      if (want_dnssec && zone->IsSigned()) {
+        AttachRrsigs(*zone, zone->apex(), dns::RrType::kSoa,
+                     response.authorities);
+        AttachNoDataProof(*zone, question.name, response.authorities);
+      }
+      break;
+    case zone::LookupStatus::kNotInZone:
+      response.header.rcode = dns::Rcode::kRefused;
+      break;
+  }
+  return response;
+}
+
+dns::Message AuthServer::RespondAxfr(const dns::Message& query,
+                                     const sim::PacketContext& ctx) const {
+  dns::Message response = dns::Message::MakeResponse(query);
+  const dns::Name& apex = query.questions.front().name;
+  bool allowed = false;
+  for (const auto& prefix : config_.axfr_allow) {
+    allowed |= prefix.Contains(ctx.src.address);
+  }
+  if (!allowed) {
+    response.header.rcode = dns::Rcode::kRefused;
+    return response;
+  }
+  // AXFR requires TCP; over UDP answer with TC=1 so the client retries.
+  if (ctx.transport == dns::Transport::kUdp) {
+    response.header.tc = true;
+    return response;
+  }
+  const zone::Zone* zone = BestZoneFor(apex);
+  if (zone == nullptr || !zone->apex().Equals(apex)) {
+    response.header.rcode = dns::Rcode::kRefused;  // not authoritative
+    return response;
+  }
+  const auto* soa = zone->Find(apex, dns::RrType::kSoa);
+  if (soa == nullptr || soa->empty()) {
+    response.header.rcode = dns::Rcode::kServFail;
+    return response;
+  }
+  // RFC 5936 framing: SOA, every other record, SOA.
+  response.header.aa = true;
+  response.answers.push_back(soa->front());
+  for (const auto& name : zone->Names()) {
+    for (const auto& rr : zone->RecordsAt(name)) {
+      if (rr.type == dns::RrType::kSoa) continue;
+      response.answers.push_back(rr);
+    }
+  }
+  response.answers.push_back(soa->front());
+  return response;
+}
+
+dns::WireBuffer AuthServer::HandlePacket(const sim::PacketContext& ctx,
+                                         const dns::WireBuffer& query_wire) {
+  auto query = dns::Message::Decode(query_wire);
+  if (!query || query->header.qr) {
+    return {};  // drop garbage silently, as real servers do
+  }
+
+  if (query->questions.size() == 1 &&
+      query->questions.front().type == dns::RrType::kAxfr) {
+    // Zone transfers bypass RRL/truncation; they are TCP bulk operations
+    // and are never part of the captured query stream the study analyzes.
+    return RespondAxfr(*query, ctx).Encode();
+  }
+
+  dns::Message response;
+  bool slipped = false;
+  if (!rrl_.Allow(ctx.src.address, ctx.time_us)) {
+    // RRL slip: minimal truncated response; resolver should retry via TCP.
+    // TCP queries are never rate-limited (the handshake proves the source).
+    if (ctx.transport == dns::Transport::kUdp) {
+      response = dns::Message::MakeResponse(*query);
+      response.header.tc = true;
+      slipped = true;
+    } else {
+      response = Respond(*query);
+    }
+  } else {
+    response = Respond(*query);
+  }
+
+  std::size_t udp_limit = dns::kClassicUdpLimit;
+  if (query->edns) {
+    udp_limit = std::min<std::size_t>(query->edns->udp_payload_size,
+                                      config_.max_udp_response);
+    udp_limit = std::max(udp_limit, dns::kClassicUdpLimit);
+  }
+
+  bool truncated = false;
+  dns::WireBuffer wire;
+  if (ctx.transport == dns::Transport::kUdp) {
+    wire = response.EncodeWithLimit(udp_limit, &truncated);
+    if (slipped) truncated = true;
+  } else {
+    wire = response.Encode();
+  }
+
+  if (config_.capture_enabled) {
+    capture::CaptureRecord record;
+    record.time_us = ctx.time_us;
+    record.server_id = config_.server_id;
+    record.site_id = ctx.server_site;
+    record.src = ctx.src.address;
+    record.src_port = ctx.src.port;
+    record.transport = ctx.transport;
+    if (!query->questions.empty()) {
+      record.qname = query->questions.front().name;
+      record.qtype = query->questions.front().type;
+    }
+    record.rcode = response.header.rcode;
+    record.has_edns = query->edns.has_value();
+    record.edns_udp_size = query->edns ? query->edns->udp_payload_size : 0;
+    record.do_bit = query->edns && query->edns->dnssec_ok;
+    record.tc = truncated;
+    record.query_size = static_cast<std::uint16_t>(query_wire.size());
+    record.response_size = static_cast<std::uint16_t>(wire.size());
+    record.tcp_handshake_rtt_us =
+        ctx.transport == dns::Transport::kTcp ? ctx.handshake_rtt_us : 0;
+    capture_.push_back(std::move(record));
+  }
+  return wire;
+}
+
+}  // namespace clouddns::server

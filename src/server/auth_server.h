@@ -1,0 +1,73 @@
+// The authoritative DNS server engine.
+//
+// One AuthServer models one NS of a TLD/root operator (e.g. ".nl server A").
+// It can serve several zones (the .nz operator serves .nz plus the
+// second-level zones like co.nz), is deployed at one or more anycast sites
+// via sim::Network registration, applies EDNS-aware truncation and optional
+// response rate limiting, and — like the paper's vantage points — captures
+// every query/response pair into an ENTRADA-style CaptureBuffer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/record.h"
+#include "net/prefix_trie.h"
+#include "dns/message.h"
+#include "server/rrl.h"
+#include "sim/network.h"
+#include "zone/zone.h"
+
+namespace clouddns::server {
+
+struct AuthServerConfig {
+  std::uint32_t server_id = 0;       ///< Capture label ("server A" = 0).
+  std::string name = "ns";           ///< Human label, for reports.
+  std::size_t max_udp_response = 4096;  ///< Server-side EDNS cap.
+  /// Sources allowed to AXFR this server's zones (RFC 5936); empty = deny
+  /// all, which is how production TLD servers are configured.
+  std::vector<net::Prefix> axfr_allow;
+  RrlConfig rrl;
+  bool capture_enabled = true;  ///< The paper could only pcap some NSes.
+};
+
+class AuthServer final : public sim::PacketHandler {
+ public:
+  explicit AuthServer(AuthServerConfig config)
+      : config_(std::move(config)), rrl_(config_.rrl) {}
+
+  /// Adds a zone this server is authoritative for. Zones must outlive the
+  /// server. When several apexes enclose a qname the deepest wins.
+  void Serve(std::shared_ptr<const zone::Zone> zone);
+
+  /// sim::PacketHandler: full query->response cycle plus capture.
+  dns::WireBuffer HandlePacket(const sim::PacketContext& ctx,
+                               const dns::WireBuffer& query) override;
+
+  /// Builds the response message for a decoded query (exposed for tests;
+  /// no truncation or capture applied here).
+  [[nodiscard]] dns::Message Respond(const dns::Message& query) const;
+
+  [[nodiscard]] const capture::CaptureBuffer& captured() const {
+    return capture_;
+  }
+  capture::CaptureBuffer TakeCaptured() { return std::move(capture_); }
+  [[nodiscard]] const AuthServerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t rrl_slips() const { return rrl_.slip_count(); }
+
+ private:
+  [[nodiscard]] const zone::Zone* BestZoneFor(const dns::Name& qname) const;
+  [[nodiscard]] dns::Message RespondAxfr(const dns::Message& query,
+                                         const sim::PacketContext& ctx) const;
+  void AttachRrsigs(const zone::Zone& zone, const dns::Name& owner,
+                    dns::RrType covered,
+                    std::vector<dns::ResourceRecord>& section) const;
+
+  AuthServerConfig config_;
+  std::vector<std::shared_ptr<const zone::Zone>> zones_;
+  ResponseRateLimiter rrl_;
+  capture::CaptureBuffer capture_;
+};
+
+}  // namespace clouddns::server

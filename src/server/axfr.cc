@@ -1,0 +1,49 @@
+#include "server/axfr.h"
+
+namespace clouddns::server {
+
+AxfrResult AxfrFetch(sim::Network& network, const net::Endpoint& src,
+                     sim::SiteId src_site, const net::IpAddress& server,
+                     const dns::Name& apex, sim::TimeUs now) {
+  AxfrResult result;
+  dns::Message query =
+      dns::Message::MakeQuery(0x5936, apex, dns::RrType::kAxfr);
+  auto sent = network.Query(src, src_site, server, dns::Transport::kTcp,
+                            query.Encode(), now);
+  if (!sent.delivered) {
+    result.error = "no route to server or query dropped";
+    return result;
+  }
+  auto response = dns::Message::Decode(sent.response);
+  if (!response) {
+    result.error = "malformed AXFR response";
+    return result;
+  }
+  if (response->header.rcode != dns::Rcode::kNoError) {
+    result.error = "transfer refused: " +
+                   std::string(ToString(response->header.rcode));
+    return result;
+  }
+  const auto& answers = response->answers;
+  if (answers.size() < 2 || answers.front().type != dns::RrType::kSoa ||
+      answers.back().type != dns::RrType::kSoa ||
+      !answers.front().name.Equals(apex)) {
+    result.error = "response is not SOA-framed";
+    return result;
+  }
+
+  zone::Zone zone(apex);
+  // The stream is SOA, <records...>, SOA; the trailing SOA is framing only.
+  for (std::size_t i = 0; i + 1 < answers.size(); ++i) {
+    if (!answers[i].name.IsSubdomainOf(apex)) {
+      result.error = "out-of-zone record in transfer: " +
+                     answers[i].name.ToString();
+      return result;
+    }
+    zone.Add(answers[i]);
+  }
+  result.zone = std::move(zone);
+  return result;
+}
+
+}  // namespace clouddns::server

@@ -1,0 +1,30 @@
+// Zone transfer (AXFR, RFC 5936) — how TLD operators actually propagate
+// their zones to the NS fleet the study captures at. The server side lives
+// in AuthServer (qtype AXFR over TCP, gated by an allowlist); this header
+// provides the client side: fetch a zone over the simulated network and
+// reassemble it.
+#pragma once
+
+#include <optional>
+
+#include "dns/message.h"
+#include "sim/network.h"
+#include "zone/zone.h"
+
+namespace clouddns::server {
+
+struct AxfrResult {
+  std::optional<zone::Zone> zone;
+  std::string error;  ///< Populated when `zone` is empty.
+};
+
+/// Transfers `apex` from `server` over TCP. Validates RFC 5936 framing:
+/// the answer section must start and end with the zone's SOA record.
+[[nodiscard]] AxfrResult AxfrFetch(sim::Network& network,
+                                   const net::Endpoint& src,
+                                   sim::SiteId src_site,
+                                   const net::IpAddress& server,
+                                   const dns::Name& apex,
+                                   sim::TimeUs now = 0);
+
+}  // namespace clouddns::server

@@ -1,0 +1,128 @@
+#include "server/leaf_auth.h"
+
+#include "zone/dnssec.h"
+
+namespace clouddns::server {
+namespace {
+
+std::uint64_t NameHash(const dns::Name& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name.ToKey()) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+net::Ipv4Address LeafAuthService::SyntheticV4(const dns::Name& name) {
+  // 100.96.0.0/12-ish synthetic space, never colliding with fleet or
+  // authoritative service addresses.
+  std::uint64_t h = NameHash(name);
+  return net::Ipv4Address(0x64600000u | (static_cast<std::uint32_t>(h) &
+                                         0x001fffffu));
+}
+
+net::Ipv6Address LeafAuthService::SyntheticV6(const dns::Name& name) {
+  std::uint64_t h = NameHash(name) * 0x9e3779b97f4a7c15ull;
+  net::Ipv6Address::Bytes bytes{};
+  bytes[0] = 0x20;
+  bytes[1] = 0x01;
+  bytes[2] = 0x0d;
+  bytes[3] = 0xb8;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(h >> (8 * i));
+  }
+  return net::Ipv6Address(bytes);
+}
+
+bool LeafAuthService::HasV6(const dns::Name& name) const {
+  return static_cast<double>(NameHash(name) % 10000) <
+         config_.v6_fraction * 10000.0;
+}
+
+dns::Message LeafAuthService::Respond(const dns::Message& query) const {
+  dns::Message response = dns::Message::MakeResponse(query);
+  if (query.questions.size() != 1) {
+    response.header.rcode = dns::Rcode::kFormErr;
+    return response;
+  }
+  const dns::Question& question = query.questions.front();
+  response.header.aa = true;
+  const std::uint32_t ttl = config_.answer_ttl;
+
+  auto nodata = [&response, &question, ttl] {
+    dns::SoaRdata soa;
+    soa.mname = question.name;
+    soa.rname = question.name;
+    soa.serial = 1;
+    soa.minimum = ttl;
+    response.authorities.push_back(dns::MakeSoa(question.name, soa, ttl));
+  };
+
+  switch (question.type) {
+    case dns::RrType::kA:
+      response.answers.push_back(
+          dns::MakeA(question.name, SyntheticV4(question.name), ttl));
+      break;
+    case dns::RrType::kAaaa:
+      if (HasV6(question.name)) {
+        response.answers.push_back(
+            dns::MakeAaaa(question.name, SyntheticV6(question.name), ttl));
+      } else {
+        nodata();
+      }
+      break;
+    case dns::RrType::kMx:
+      response.answers.push_back(
+          dns::MakeMx(question.name, 10, question.name.Child("mail"), ttl));
+      break;
+    case dns::RrType::kTxt:
+      response.answers.push_back(
+          dns::MakeTxt(question.name, "synthetic-leaf", ttl));
+      break;
+    case dns::RrType::kDnskey: {
+      // Validators fetching a leaf zone's keys get realistic RSA-sized
+      // material; with a 512-byte EDNS buffer this truncates, which is the
+      // classic "TCP is needed for DNSKEY retrieval" path (§4.4).
+      for (auto& key : zone::MakeApexDnskeys(question.name, ttl)) {
+        response.answers.push_back(std::move(key));
+      }
+      break;
+    }
+    case dns::RrType::kDs:
+      response.answers.push_back(zone::MakeDs(question.name, ttl));
+      break;
+    case dns::RrType::kNs:
+      // Minimized NS probes below the delegation point: the name exists
+      // but carries no NS RRset of its own.
+      nodata();
+      break;
+    default:
+      nodata();
+      break;
+  }
+  return response;
+}
+
+dns::WireBuffer LeafAuthService::HandlePacket(const sim::PacketContext& ctx,
+                                              const dns::WireBuffer& query) {
+  ++handled_;
+  auto decoded = dns::Message::Decode(query);
+  if (!decoded || decoded->header.qr) return {};
+  dns::Message response = Respond(*decoded);
+  if (ctx.transport == dns::Transport::kUdp) {
+    std::size_t limit = dns::kClassicUdpLimit;
+    if (decoded->edns) {
+      limit = std::min<std::size_t>(decoded->edns->udp_payload_size,
+                                    config_.max_udp_response);
+      limit = std::max(limit, dns::kClassicUdpLimit);
+    }
+    return response.EncodeWithLimit(limit);
+  }
+  return response.Encode();
+}
+
+}  // namespace clouddns::server

@@ -1,0 +1,45 @@
+// The synthetic "rest of the DNS" — a catch-all authoritative service that
+// answers for every second-level-domain nameserver the TLD zones delegate
+// to. The study never captures this traffic (its vantage points are the
+// TLDs and B-Root), but resolvers must be able to finish resolutions below
+// the delegation point or their caching/QNAME-minimization behaviour at the
+// TLD would be wrong. Answers are synthesized deterministically from the
+// query name, so the same name always resolves the same way.
+#pragma once
+
+#include "dns/message.h"
+#include "sim/network.h"
+
+namespace clouddns::server {
+
+struct LeafAuthConfig {
+  /// Fraction of names that have AAAA records (deterministic by name hash).
+  double v6_fraction = 0.55;
+  std::uint32_t answer_ttl = 300;
+  std::size_t max_udp_response = 4096;
+};
+
+class LeafAuthService final : public sim::PacketHandler {
+ public:
+  explicit LeafAuthService(LeafAuthConfig config) : config_(config) {}
+
+  dns::WireBuffer HandlePacket(const sim::PacketContext& ctx,
+                               const dns::WireBuffer& query) override;
+
+  /// Response construction, exposed for tests.
+  [[nodiscard]] dns::Message Respond(const dns::Message& query) const;
+
+  /// The deterministic address a name resolves to (also used by tests).
+  [[nodiscard]] static net::Ipv4Address SyntheticV4(const dns::Name& name);
+  [[nodiscard]] static net::Ipv6Address SyntheticV6(const dns::Name& name);
+
+  [[nodiscard]] std::uint64_t handled() const { return handled_; }
+
+ private:
+  [[nodiscard]] bool HasV6(const dns::Name& name) const;
+
+  LeafAuthConfig config_;
+  std::uint64_t handled_ = 0;
+};
+
+}  // namespace clouddns::server

@@ -1,0 +1,29 @@
+#include "server/rrl.h"
+
+#include <algorithm>
+
+namespace clouddns::server {
+
+bool ResponseRateLimiter::Allow(const net::IpAddress& src, sim::TimeUs now) {
+  if (!config_.enabled) return true;
+  Bucket& bucket = buckets_[src];
+  if (bucket.last_refill == 0) {
+    bucket.tokens = config_.burst;
+    bucket.last_refill = now;
+  } else if (now > bucket.last_refill) {
+    double elapsed_s = static_cast<double>(now - bucket.last_refill) /
+                       static_cast<double>(sim::kMicrosPerSecond);
+    bucket.tokens = std::min(config_.burst,
+                             bucket.tokens +
+                                 elapsed_s * config_.responses_per_second);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  ++slips_;
+  return false;
+}
+
+}  // namespace clouddns::server

@@ -1,0 +1,54 @@
+// Simulation time: microseconds since the Unix epoch, plus the civil-date
+// arithmetic the longitudinal analyses need (weekly capture windows,
+// monthly buckets for the Q-min rollout study).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clouddns::sim {
+
+/// Microseconds since 1970-01-01T00:00:00Z.
+using TimeUs = std::uint64_t;
+
+inline constexpr TimeUs kMicrosPerSecond = 1'000'000ull;
+inline constexpr TimeUs kMicrosPerDay = 86'400ull * kMicrosPerSecond;
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  ///< 1..12
+  unsigned day = 1;    ///< 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since the epoch for a civil date (Howard Hinnant's algorithm;
+/// valid across the whole simulated range).
+[[nodiscard]] std::int64_t DaysFromCivil(const CivilDate& date);
+[[nodiscard]] CivilDate CivilFromDays(std::int64_t days);
+
+[[nodiscard]] TimeUs TimeFromCivil(const CivilDate& date);
+[[nodiscard]] CivilDate CivilFromTime(TimeUs time);
+
+/// "2020-04" style key, the Figure 3 monthly bucket.
+[[nodiscard]] std::string MonthKey(TimeUs time);
+
+/// "2020-04-05" rendering.
+[[nodiscard]] std::string DateString(TimeUs time);
+
+/// A monotonically advancing simulated clock.
+class Clock {
+ public:
+  explicit Clock(TimeUs start) : now_(start) {}
+
+  [[nodiscard]] TimeUs now() const { return now_; }
+  void AdvanceTo(TimeUs t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(TimeUs delta) { now_ += delta; }
+
+ private:
+  TimeUs now_;
+};
+
+}  // namespace clouddns::sim

@@ -1,0 +1,51 @@
+#include "sim/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clouddns::sim {
+namespace {
+constexpr std::size_t kResolution = 4096;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+DiurnalWarp::DiurnalWarp(TimeUs window_start, TimeUs window_end,
+                         double amplitude, double peak_hour)
+    : start_(window_start),
+      window_(window_end > window_start ? window_end - window_start : 1),
+      amplitude_(std::clamp(amplitude, 0.0, 0.99)) {
+  cdf_.resize(kResolution + 1);
+  // Integrate the rate function over the window.
+  const double days = static_cast<double>(window_) /
+                      static_cast<double>(kMicrosPerDay);
+  const double phase0 =
+      static_cast<double>(window_start % kMicrosPerDay) /
+      static_cast<double>(kMicrosPerDay);
+  double accumulated = 0;
+  cdf_[0] = 0;
+  for (std::size_t k = 0; k < kResolution; ++k) {
+    double x = (static_cast<double>(k) + 0.5) / kResolution;  // window frac
+    double day_fraction = phase0 + x * days;
+    double rate = 1.0 + amplitude_ * std::sin(2 * kPi *
+                                              (day_fraction -
+                                               peak_hour / 24.0 + 0.25));
+    accumulated += rate;
+    cdf_[k + 1] = accumulated;
+  }
+  for (auto& value : cdf_) value /= accumulated;
+}
+
+TimeUs DiurnalWarp::TimeOf(std::uint64_t index, std::uint64_t total) const {
+  if (total == 0) return start_;
+  double u = (static_cast<double>(index) + 0.5) / static_cast<double>(total);
+  // Invert the CDF with binary search + linear interpolation.
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  std::size_t hi = static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(it - cdf_.begin(), 1, kResolution));
+  double span = cdf_[hi] - cdf_[hi - 1];
+  double within = span > 0 ? (u - cdf_[hi - 1]) / span : 0.0;
+  double x = (static_cast<double>(hi - 1) + within) / kResolution;
+  return start_ + static_cast<TimeUs>(x * static_cast<double>(window_));
+}
+
+}  // namespace clouddns::sim

@@ -1,0 +1,36 @@
+// Diurnal traffic shaping. Internet query volume follows day/night cycles
+// (Quan et al. [35]; the paper picks whole capture weeks to average over
+// them). DiurnalWarp maps a uniform query index onto wall-clock times
+// whose instantaneous rate follows 1 + amplitude*sin(2*pi*(t - peak)),
+// via an inverted piecewise CDF, keeping the sequence monotone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace clouddns::sim {
+
+class DiurnalWarp {
+ public:
+  /// `amplitude` in [0, 1): 0 = uniform; 0.5 = 3:1 peak-to-trough ratio.
+  /// `peak_hour` is the local hour of maximum rate.
+  DiurnalWarp(TimeUs window_start, TimeUs window_end, double amplitude,
+              double peak_hour = 15.0);
+
+  /// Time of the i-th of `total` events; nondecreasing in `i`.
+  [[nodiscard]] TimeUs TimeOf(std::uint64_t index, std::uint64_t total) const;
+
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+
+ private:
+  TimeUs start_;
+  TimeUs window_;
+  double amplitude_;
+  /// cdf_[k] = fraction of the window's traffic before fraction k/N of the
+  /// window's wall-clock time.
+  std::vector<double> cdf_;
+};
+
+}  // namespace clouddns::sim

@@ -1,0 +1,24 @@
+#include "sim/latency.h"
+
+#include <cmath>
+
+namespace clouddns::sim {
+
+SiteId LatencyModel::AddSite(SiteSpec spec) {
+  sites_.push_back(std::move(spec));
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+std::uint32_t LatencyModel::RttUs(SiteId a, SiteId b, bool ipv6) const {
+  const SiteSpec& sa = sites_[a];
+  const SiteSpec& sb = sites_[b];
+  double dx = sa.x - sb.x;
+  double dy = sa.y - sb.y;
+  double one_way_ms = std::sqrt(dx * dx + dy * dy) + sa.access_delay_ms +
+                      sb.access_delay_ms;
+  if (ipv6) one_way_ms += sa.v6_penalty_ms + sb.v6_penalty_ms;
+  double rtt_ms = 2.0 * one_way_ms;
+  return static_cast<std::uint32_t>(rtt_ms * 1000.0);
+}
+
+}  // namespace clouddns::sim

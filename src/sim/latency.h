@@ -1,0 +1,46 @@
+// Site-level latency model.
+//
+// The paper correlates Facebook's per-site IPv4/IPv6 RTT gap with query
+// preference (Fig. 5). We model each resolver site and each authoritative
+// anycast site as a point in an abstract 2-D "millisecond plane"; RTT is
+// twice the Euclidean distance plus a per-site access delay, and a site can
+// carry a *per-family penalty* to reproduce asymmetric v4/v6 paths (e.g. a
+// v6 tunnel adding tens of ms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clouddns::sim {
+
+using SiteId = std::uint32_t;
+
+inline constexpr SiteId kNoSite = 0xffffffffu;
+
+struct SiteSpec {
+  std::string label;       ///< e.g. airport code "AMS", "SYD".
+  double x = 0;            ///< Position in ms-plane.
+  double y = 0;
+  double access_delay_ms = 1.0;  ///< One-way last-mile delay.
+  double v6_penalty_ms = 0.0;    ///< Extra one-way delay for IPv6 paths.
+};
+
+class LatencyModel {
+ public:
+  SiteId AddSite(SiteSpec spec);
+
+  [[nodiscard]] const SiteSpec& site(SiteId id) const {
+    return sites_[id];
+  }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  /// Round-trip time between two sites in microseconds, for the given
+  /// address family. Both sites' per-family penalties apply.
+  [[nodiscard]] std::uint32_t RttUs(SiteId a, SiteId b, bool ipv6) const;
+
+ private:
+  std::vector<SiteSpec> sites_;
+};
+
+}  // namespace clouddns::sim

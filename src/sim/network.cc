@@ -1,0 +1,64 @@
+#include "sim/network.h"
+
+namespace clouddns::sim {
+
+void Network::RegisterServer(const net::IpAddress& service, SiteId site,
+                             PacketHandler& handler) {
+  services_[service].push_back(Instance{site, &handler});
+}
+
+void Network::SetDefaultRoute(SiteId site, PacketHandler& handler) {
+  default_route_ = Instance{site, &handler};
+}
+
+Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
+                                   const net::IpAddress& dst,
+                                   dns::Transport transport,
+                                   const dns::WireBuffer& query, TimeUs now) {
+  SendResult result;
+  // Anycast catchment: the site with the lowest RTT from the source wins.
+  // The family of the *destination service address* decides which latency
+  // plane (v4 or v6) the packets traverse.
+  const bool ipv6 = dst.is_v6();
+  const Instance* best = nullptr;
+  std::uint32_t best_rtt = 0;
+  auto it = services_.find(dst);
+  if (it != services_.end() && !it->second.empty()) {
+    for (const Instance& instance : it->second) {
+      std::uint32_t rtt = latency_.RttUs(src_site, instance.site, ipv6);
+      if (best == nullptr || rtt < best_rtt) {
+        best = &instance;
+        best_rtt = rtt;
+      }
+    }
+  } else if (default_route_.handler != nullptr) {
+    best = &default_route_;
+    best_rtt = latency_.RttUs(src_site, default_route_.site, ipv6);
+  } else {
+    return result;
+  }
+
+  PacketContext ctx;
+  ctx.src = src;
+  ctx.transport = transport;
+  ctx.server_site = best->site;
+  std::uint32_t total_rtt = best_rtt;
+  if (transport == dns::Transport::kTcp) {
+    // SYN/SYN-ACK/ACK before the query: one extra round trip, and the
+    // server observes the handshake RTT.
+    ctx.handshake_rtt_us = best_rtt;
+    total_rtt += best_rtt;
+  }
+  ctx.time_us = now + total_rtt / 2;
+
+  dns::WireBuffer response = best->handler->HandlePacket(ctx, query);
+  if (response.empty()) return result;
+
+  result.delivered = true;
+  result.response = std::move(response);
+  result.rtt_us = total_rtt;
+  result.server_site = best->site;
+  return result;
+}
+
+}  // namespace clouddns::sim

@@ -1,0 +1,83 @@
+// The simulated network joining resolvers to authoritative servers.
+//
+// Real wire-format bytes flow through here: a resolver encodes an RFC 1035
+// query, Network picks the anycast site (lowest RTT catchment, as BGP
+// proximity approximates), hands the bytes to the server's PacketHandler,
+// and returns the response bytes with transport-level timing. TCP costs an
+// extra round trip for the handshake, and the server learns the measured
+// handshake RTT — which is how the paper measures Facebook's per-site RTTs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/types.h"
+#include "dns/wire.h"
+#include "net/ip.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace clouddns::sim {
+
+/// Metadata delivered to a server alongside the query bytes.
+struct PacketContext {
+  net::Endpoint src;
+  dns::Transport transport = dns::Transport::kUdp;
+  TimeUs time_us = 0;          ///< Arrival time at the server.
+  std::uint32_t handshake_rtt_us = 0;  ///< TCP only: measured SYN/ACK RTT.
+  SiteId server_site = kNoSite;        ///< Which anycast site caught it.
+};
+
+/// Implemented by authoritative servers. Returns response bytes; an empty
+/// buffer means the packet was dropped (rate limiting, malformed, ...).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual dns::WireBuffer HandlePacket(const PacketContext& ctx,
+                                       const dns::WireBuffer& query) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const LatencyModel& latency) : latency_(latency) {}
+
+  /// Announces `service` from `site`, backed by `handler`. Multiple sites
+  /// per service = anycast. The handler must outlive the network.
+  void RegisterServer(const net::IpAddress& service, SiteId site,
+                      PacketHandler& handler);
+
+  /// Fallback for destinations without an explicit registration — stands in
+  /// for the millions of second-level-domain authoritative servers whose
+  /// traffic the study does not capture. `site` positions it for RTT.
+  void SetDefaultRoute(SiteId site, PacketHandler& handler);
+
+  struct SendResult {
+    bool delivered = false;       ///< False when no route or server dropped it.
+    dns::WireBuffer response;
+    std::uint32_t rtt_us = 0;     ///< Total query->response time.
+    SiteId server_site = kNoSite;
+  };
+
+  /// Sends `query` from `src` (at `src_site`) to `dst` over `transport` at
+  /// simulated time `now`.
+  [[nodiscard]] SendResult Query(const net::Endpoint& src, SiteId src_site,
+                                 const net::IpAddress& dst,
+                                 dns::Transport transport,
+                                 const dns::WireBuffer& query, TimeUs now);
+
+  [[nodiscard]] std::size_t service_count() const { return services_.size(); }
+
+ private:
+  struct Instance {
+    SiteId site;
+    PacketHandler* handler;
+  };
+
+  const LatencyModel& latency_;
+  std::unordered_map<net::IpAddress, std::vector<Instance>, net::IpAddressHash>
+      services_;
+  Instance default_route_{kNoSite, nullptr};
+};
+
+}  // namespace clouddns::sim

@@ -1,0 +1,64 @@
+#include "sim/random.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clouddns::sim {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("DiscreteSampler: no weights");
+  }
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("DiscreteSampler: zero total");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's alias method.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t DiscreteSampler::Sample(Rng& rng) const {
+  std::size_t column = static_cast<std::size_t>(
+      rng.NextBelow(static_cast<std::uint64_t>(prob_.size())));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+namespace {
+std::vector<double> ZipfWeights(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return weights;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : table_(ZipfWeights(n, exponent)) {}
+
+}  // namespace clouddns::sim

@@ -1,0 +1,52 @@
+// Mock DNSSEC signer and verifier.
+//
+// The paper measures DNSSEC *query patterns* (DS/DNSKEY fetches by
+// validating resolvers), not cryptography. We therefore substitute real
+// RSA/ECDSA with a deterministic keyed hash: signatures are reproducible
+// functions of (signer zone, owner name, type), so the resolver-side
+// verifier can check them without any crypto library while the wire format
+// stays bit-exact RFC 4034. DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "zone/zone.h"
+
+namespace clouddns::zone {
+
+/// Algorithm number we stamp into records (8 = RSASHA256; RSA-sized
+/// signatures matter because they drive truncation at small EDNS sizes).
+inline constexpr std::uint8_t kMockAlgorithm = 8;
+
+/// Deterministic key tag for a zone's ZSK/KSK.
+[[nodiscard]] std::uint16_t ZskTagFor(const dns::Name& zone_apex);
+[[nodiscard]] std::uint16_t KskTagFor(const dns::Name& zone_apex);
+
+/// Deterministic "signature" bytes over an RRset identity.
+[[nodiscard]] std::vector<std::uint8_t> MockSignature(
+    const dns::Name& signer, const dns::Name& owner, dns::RrType type);
+
+/// Builds the apex DNSKEY RRset (one KSK, one ZSK) for a zone.
+[[nodiscard]] std::vector<dns::ResourceRecord> MakeApexDnskeys(
+    const dns::Name& zone_apex, std::uint32_t ttl);
+
+/// Builds the DS record a parent publishes for a signed child.
+[[nodiscard]] dns::ResourceRecord MakeDs(const dns::Name& child_apex,
+                                         std::uint32_t ttl);
+
+/// Signs every RRset in `zone`: attaches apex DNSKEYs and one RRSIG per
+/// (owner, type) RRset. Idempotent signing is not supported; call once.
+void SignZone(Zone& zone, std::uint32_t dnskey_ttl = 172800);
+
+/// Verifies a mock RRSIG against the RRset identity it claims to cover.
+[[nodiscard]] bool VerifyRrsig(const dns::RrsigRdata& sig,
+                               const dns::Name& owner, dns::RrType type);
+
+/// Checks that a DS record matches the child's mock KSK.
+[[nodiscard]] bool VerifyDsMatchesKey(const dns::DsRdata& ds,
+                                      const dns::Name& child_apex);
+
+}  // namespace clouddns::zone

@@ -1,0 +1,56 @@
+// NSEC3 (RFC 5155) support: hashed authenticated denial of existence,
+// which is what the real .nl zone uses (plain NSEC would allow trivial
+// zone enumeration of a registry). The hash is mocked (like the rest of
+// this library's DNSSEC crypto) but the machinery is faithful: salted,
+// iterated hashing of the owner name, base32hex owner labels, a circular
+// chain in hash order, and covering-record lookup for denials.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "zone/zone.h"
+
+namespace clouddns::zone {
+
+/// RFC 4648 §7 "extended hex" alphabet (0-9, a-v), the encoding NSEC3
+/// owner labels use; no padding.
+[[nodiscard]] std::string Base32HexEncode(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> Base32HexDecode(
+    std::string_view text);
+
+/// The RFC 5155 iterated, salted hash of a name (H(H(...H(owner||salt)...)
+/// || salt), `iterations` extra rounds). 20 bytes, SHA-1-sized; the hash
+/// core is this library's deterministic mock.
+[[nodiscard]] std::vector<std::uint8_t> Nsec3Hash(
+    const dns::Name& name, const std::vector<std::uint8_t>& salt,
+    std::uint16_t iterations);
+
+/// The NSEC3 record's owner: base32hex(hash).<zone apex>.
+[[nodiscard]] dns::Name Nsec3OwnerName(const dns::Name& name,
+                                       const dns::Name& zone_apex,
+                                       const std::vector<std::uint8_t>& salt,
+                                       std::uint16_t iterations);
+
+struct Nsec3ChainConfig {
+  std::uint16_t iterations = 5;
+  std::vector<std::uint8_t> salt = {0xab, 0xcd};
+  std::uint32_t ttl = 600;
+};
+
+/// Builds the zone's NSEC3 chain: one NSEC3 record per existing owner
+/// name (type bitmap = the types present there), chained circularly in
+/// hash order, plus the apex NSEC3PARAM. Call after all ordinary records
+/// are added (like SignZone).
+void AddNsec3Chain(Zone& zone, const Nsec3ChainConfig& config = {});
+
+/// The NSEC3 record whose hash interval covers `qname` (for NXDOMAIN
+/// proofs). Returns nullptr when the zone has no chain.
+[[nodiscard]] const dns::ResourceRecord* FindCoveringNsec3(
+    const Zone& zone, const dns::Name& qname);
+
+}  // namespace clouddns::zone

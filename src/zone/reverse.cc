@@ -1,0 +1,84 @@
+#include "zone/reverse.h"
+
+namespace clouddns::zone {
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+std::optional<int> NibbleValue(const std::string& label) {
+  if (label.size() != 1) return std::nullopt;
+  char c = dns::AsciiLower(label[0]);
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return std::nullopt;
+}
+
+std::optional<int> OctetValue(const std::string& label) {
+  if (label.empty() || label.size() > 3) return std::nullopt;
+  int value = 0;
+  for (char c : label) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value <= 255 ? std::optional<int>(value) : std::nullopt;
+}
+
+}  // namespace
+
+dns::Name ReverseName(const net::IpAddress& address) {
+  std::vector<std::string> labels;
+  if (address.is_v4()) {
+    labels.reserve(6);
+    for (int i = 3; i >= 0; --i) {
+      labels.push_back(std::to_string(address.v4().octet(i)));
+    }
+    labels.emplace_back("in-addr");
+  } else {
+    labels.reserve(34);
+    const auto& bytes = address.v6().bytes();
+    for (int i = 15; i >= 0; --i) {
+      labels.emplace_back(1, kHex[bytes[static_cast<std::size_t>(i)] & 0xf]);
+      labels.emplace_back(1, kHex[bytes[static_cast<std::size_t>(i)] >> 4]);
+    }
+    labels.emplace_back("ip6");
+  }
+  labels.emplace_back("arpa");
+  return dns::Name::FromLabels(std::move(labels));
+}
+
+std::optional<net::IpAddress> AddressFromReverseName(const dns::Name& name) {
+  static const dns::Name kInAddrArpa = *dns::Name::Parse("in-addr.arpa");
+  static const dns::Name kIp6Arpa = *dns::Name::Parse("ip6.arpa");
+
+  if (name.IsSubdomainOf(kInAddrArpa)) {
+    if (name.LabelCount() != 6) return std::nullopt;
+    std::array<std::uint8_t, 4> octets{};
+    for (int i = 0; i < 4; ++i) {
+      auto v = OctetValue(name.Label(static_cast<std::size_t>(i)));
+      if (!v) return std::nullopt;
+      octets[static_cast<std::size_t>(3 - i)] =
+          static_cast<std::uint8_t>(*v);
+    }
+    return net::IpAddress(net::Ipv4Address::FromBytes(octets));
+  }
+
+  if (name.IsSubdomainOf(kIp6Arpa)) {
+    if (name.LabelCount() != 34) return std::nullopt;
+    net::Ipv6Address::Bytes bytes{};
+    for (int i = 0; i < 32; ++i) {
+      auto v = NibbleValue(name.Label(static_cast<std::size_t>(i)));
+      if (!v) return std::nullopt;
+      // Label 0 is the lowest nibble of byte 15.
+      std::size_t byte_index = static_cast<std::size_t>(15 - i / 2);
+      if (i % 2 == 0) {
+        bytes[byte_index] |= static_cast<std::uint8_t>(*v);
+      } else {
+        bytes[byte_index] |= static_cast<std::uint8_t>(*v << 4);
+      }
+    }
+    return net::IpAddress(net::Ipv6Address(bytes));
+  }
+  return std::nullopt;
+}
+
+}  // namespace clouddns::zone

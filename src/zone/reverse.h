@@ -1,0 +1,22 @@
+// Reverse-DNS name construction (in-addr.arpa / ip6.arpa), used to build
+// PTR zones for cloud resolver fleets and to run the paper's §4.3
+// dual-stack identification (reverse-lookup every Facebook resolver).
+#pragma once
+
+#include <optional>
+
+#include "dns/name.h"
+#include "net/ip.h"
+
+namespace clouddns::zone {
+
+/// "192.0.2.1" -> "1.2.0.192.in-addr.arpa";
+/// IPv6 -> 32 reversed nibbles under ip6.arpa (RFC 3596 §2.5).
+[[nodiscard]] dns::Name ReverseName(const net::IpAddress& address);
+
+/// Inverse of ReverseName. Returns nullopt for names that are not
+/// well-formed reverse names.
+[[nodiscard]] std::optional<net::IpAddress> AddressFromReverseName(
+    const dns::Name& name);
+
+}  // namespace clouddns::zone

@@ -1,0 +1,165 @@
+#include "zone/zone.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clouddns::zone {
+
+void Zone::Add(dns::ResourceRecord record) {
+  sorted_valid_ = false;
+  if (!record.name.IsSubdomainOf(apex_)) {
+    throw std::invalid_argument("Zone::Add: " + record.name.ToString() +
+                                " is outside zone " + apex_.ToString());
+  }
+  // Register the owner and every empty non-terminal up to the apex so
+  // NXDOMAIN vs NODATA can be decided by existence checks.
+  dns::Name walker = record.name;
+  while (true) {
+    auto [it, inserted] = names_.try_emplace(walker.ToKey(), walker);
+    (void)it;
+    if (!inserted || walker.Equals(apex_)) break;
+    walker = walker.Parent();
+  }
+  records_[record.name.ToKey()][record.type].push_back(std::move(record));
+  ++record_count_;
+}
+
+const std::vector<dns::ResourceRecord>* Zone::Find(const dns::Name& name,
+                                                   dns::RrType type) const {
+  auto it = records_.find(name.ToKey());
+  if (it == records_.end()) return nullptr;
+  auto type_it = it->second.find(type);
+  if (type_it == it->second.end()) return nullptr;
+  return &type_it->second;
+}
+
+std::vector<dns::Name> Zone::Names() const {
+  std::vector<dns::Name> out;
+  out.reserve(names_.size());
+  for (const auto& [key, name] : names_) out.push_back(name);
+  return out;
+}
+
+std::vector<dns::ResourceRecord> Zone::RecordsAt(const dns::Name& name) const {
+  std::vector<dns::ResourceRecord> out;
+  auto it = records_.find(name.ToKey());
+  if (it == records_.end()) return out;
+  for (const auto& [type, rrset] : it->second) {
+    out.insert(out.end(), rrset.begin(), rrset.end());
+  }
+  return out;
+}
+
+bool Zone::IsSigned() const {
+  return Find(apex_, dns::RrType::kDnskey) != nullptr;
+}
+
+Zone::DenialRange Zone::DenialNeighbors(const dns::Name& qname) const {
+  if (!sorted_valid_) {
+    sorted_names_.clear();
+    sorted_names_.reserve(names_.size());
+    for (const auto& [key, name] : names_) sorted_names_.push_back(name);
+    std::sort(sorted_names_.begin(), sorted_names_.end());
+    sorted_valid_ = true;
+  }
+  DenialRange range;
+  range.prev = apex_;
+  range.next = apex_;  // wrap by default
+  if (sorted_names_.empty()) return range;
+  auto it = std::lower_bound(sorted_names_.begin(), sorted_names_.end(),
+                             qname);
+  range.prev = it == sorted_names_.begin() ? sorted_names_.front()
+                                           : *std::prev(it);
+  range.next = it == sorted_names_.end() ? apex_ : *it;
+  return range;
+}
+
+bool Zone::NameExists(const dns::Name& name) const {
+  return names_.contains(name.ToKey());
+}
+
+std::optional<dns::Name> Zone::FindZoneCut(const dns::Name& qname) const {
+  // Walk from just below the apex towards qname; the first name with an NS
+  // RRset (other than the apex) is the enclosing cut.
+  if (qname.LabelCount() <= apex_.LabelCount()) return std::nullopt;
+  for (std::size_t labels = apex_.LabelCount() + 1;
+       labels <= qname.LabelCount(); ++labels) {
+    dns::Name candidate = qname.Suffix(labels);
+    if (Find(candidate, dns::RrType::kNs) != nullptr) return candidate;
+  }
+  return std::nullopt;
+}
+
+LookupResult Zone::Lookup(const dns::Name& qname, dns::RrType qtype) const {
+  LookupResult result;
+  if (!qname.IsSubdomainOf(apex_)) {
+    result.status = LookupStatus::kNotInZone;
+    return result;
+  }
+
+  // Zone cuts take precedence over data below them.
+  if (auto cut = FindZoneCut(qname)) {
+    // Querying the cut itself for DS stays authoritative at the parent
+    // (RFC 4035 §3.1.4.1); everything else is a referral.
+    if (!(qname.Equals(*cut) && qtype == dns::RrType::kDs)) {
+      result.status = LookupStatus::kDelegation;
+      result.cut = *cut;
+      const auto* ns_set = Find(*cut, dns::RrType::kNs);
+      result.records = *ns_set;
+      if (const auto* ds_set = Find(*cut, dns::RrType::kDs)) {
+        result.ds = *ds_set;
+      }
+      // Glue: addresses for nameservers whose names fall in/below this zone.
+      for (const auto& ns_rr : *ns_set) {
+        const auto& target = std::get<dns::NsRdata>(ns_rr.rdata).nameserver;
+        if (!target.IsSubdomainOf(apex_)) continue;
+        if (const auto* a = Find(target, dns::RrType::kA)) {
+          result.glue.insert(result.glue.end(), a->begin(), a->end());
+        }
+        if (const auto* aaaa = Find(target, dns::RrType::kAaaa)) {
+          result.glue.insert(result.glue.end(), aaaa->begin(), aaaa->end());
+        }
+      }
+      return result;
+    }
+  }
+
+  auto attach_soa = [this, &result] {
+    if (const auto* soa = Find(apex_, dns::RrType::kSoa)) {
+      result.soa = *soa;
+    }
+  };
+
+  if (!NameExists(qname)) {
+    result.status = LookupStatus::kNxDomain;
+    attach_soa();
+    return result;
+  }
+
+  if (qtype == dns::RrType::kAny) {
+    result.records = RecordsAt(qname);
+    result.status = result.records.empty() ? LookupStatus::kNoData
+                                           : LookupStatus::kAnswer;
+    if (result.records.empty()) attach_soa();
+    return result;
+  }
+
+  if (const auto* rrset = Find(qname, qtype)) {
+    result.status = LookupStatus::kAnswer;
+    result.records = *rrset;
+    return result;
+  }
+  // CNAME at the name answers any type (we only chase one level; our zones
+  // never chain CNAMEs).
+  if (const auto* cname = Find(qname, dns::RrType::kCname)) {
+    result.status = LookupStatus::kAnswer;
+    result.records = *cname;
+    return result;
+  }
+
+  result.status = LookupStatus::kNoData;
+  attach_soa();
+  return result;
+}
+
+}  // namespace clouddns::zone

@@ -1,0 +1,108 @@
+// An authoritative DNS zone: the record database one authoritative server
+// answers from, with the lookup semantics RFC 1034 §4.3.2 requires —
+// answers, referrals at zone cuts, NXDOMAIN, and NODATA.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/record.h"
+#include "dns/types.h"
+
+namespace clouddns::zone {
+
+/// What a lookup found; drives how the server builds its response.
+enum class LookupStatus {
+  kAnswer,      ///< Records of the requested type exist at the name.
+  kDelegation,  ///< The name is at/under a zone cut: return the referral.
+  kNxDomain,    ///< The name does not exist in the zone.
+  kNoData,      ///< The name exists but has no records of that type.
+  kNotInZone,   ///< The name is not under this zone's apex at all.
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kNotInZone;
+  /// kAnswer: the matching RRset. kDelegation: the cut's NS RRset.
+  std::vector<dns::ResourceRecord> records;
+  /// kDelegation: glue A/AAAA for in-zone nameservers; kAnswer for NS at a
+  /// cut is never produced (cuts take precedence below the apex).
+  std::vector<dns::ResourceRecord> glue;
+  /// kDelegation: DS records of the child, for DO=1 referrals.
+  std::vector<dns::ResourceRecord> ds;
+  /// kNxDomain / kNoData: the zone SOA for the negative response.
+  std::vector<dns::ResourceRecord> soa;
+  /// Name of the zone cut for delegations.
+  dns::Name cut;
+};
+
+class Zone {
+ public:
+  explicit Zone(dns::Name apex) : apex_(std::move(apex)) {}
+
+  [[nodiscard]] const dns::Name& apex() const { return apex_; }
+
+  /// Adds one record. The record's name must be at or under the apex.
+  /// Throws std::invalid_argument otherwise.
+  void Add(dns::ResourceRecord record);
+
+  /// Convenience: number of distinct owner names (the "zone size" the
+  /// paper's Table 2 reports counts registered domains; see builders).
+  [[nodiscard]] std::size_t name_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t record_count() const { return record_count_; }
+
+  /// Performs the RFC 1034 lookup algorithm for qname/qtype.
+  [[nodiscard]] LookupResult Lookup(const dns::Name& qname,
+                                    dns::RrType qtype) const;
+
+  /// Direct RRset access (exact name + type), no cut processing.
+  [[nodiscard]] const std::vector<dns::ResourceRecord>* Find(
+      const dns::Name& name, dns::RrType type) const;
+
+  /// All names in the zone, unordered. Used by the mock signer.
+  [[nodiscard]] std::vector<dns::Name> Names() const;
+
+  /// All records at a name, across types.
+  [[nodiscard]] std::vector<dns::ResourceRecord> RecordsAt(
+      const dns::Name& name) const;
+
+  /// True when the zone has an apex DNSKEY (i.e. it was signed).
+  [[nodiscard]] bool IsSigned() const;
+
+  /// The NSEC neighbours of a nonexistent name: the greatest existing name
+  /// canonically before `qname` and the least one after (wrapping to the
+  /// apex past the zone's last name, per RFC 4034 §6.1 ordering). Used by
+  /// the server to serve *range* denials, which is what makes aggressive
+  /// NSEC caching (RFC 8198) possible at resolvers.
+  struct DenialRange {
+    dns::Name prev;
+    dns::Name next;
+  };
+  [[nodiscard]] DenialRange DenialNeighbors(const dns::Name& qname) const;
+
+ private:
+  using TypeMap = std::map<dns::RrType, std::vector<dns::ResourceRecord>>;
+
+  dns::Name apex_;
+  std::unordered_map<std::string, TypeMap> records_;  // key: Name::ToKey()
+  // Owner-name keys that exist (including empty non-terminals' children),
+  // for NXDOMAIN vs NODATA decisions.
+  std::unordered_map<std::string, dns::Name> names_;
+  std::size_t record_count_ = 0;
+  // Canonically sorted owner names, built lazily for DenialNeighbors and
+  // invalidated by Add.
+  mutable std::vector<dns::Name> sorted_names_;
+  mutable bool sorted_valid_ = false;
+
+  /// Finds the closest enclosing zone cut strictly below the apex, if any.
+  [[nodiscard]] std::optional<dns::Name> FindZoneCut(
+      const dns::Name& qname) const;
+  [[nodiscard]] bool NameExists(const dns::Name& name) const;
+};
+
+}  // namespace clouddns::zone

@@ -1,0 +1,104 @@
+#include "zone/zone_builder.h"
+
+#include "zone/dnssec.h"
+
+namespace clouddns::zone {
+
+Zone MakeZoneSkeleton(const ZoneBuildConfig& config) {
+  Zone zone(config.apex);
+
+  dns::SoaRdata soa;
+  soa.mname = config.nameservers.empty() ? config.apex.Child("ns1")
+                                         : config.nameservers.front().name;
+  soa.rname = config.apex.Child("hostmaster");
+  soa.serial = 2020040500;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = config.negative_ttl;
+  zone.Add(dns::MakeSoa(config.apex, soa, config.soa_ttl));
+
+  for (const auto& ns : config.nameservers) {
+    zone.Add(dns::MakeNs(config.apex, ns.name, config.ns_ttl));
+    if (!ns.name.IsSubdomainOf(config.apex)) continue;
+    for (const auto& addr : ns.addresses) {
+      if (addr.is_v4()) {
+        zone.Add(dns::MakeA(ns.name, addr.v4(), config.ns_ttl));
+      } else {
+        zone.Add(dns::MakeAaaa(ns.name, addr.v6(), config.ns_ttl));
+      }
+    }
+  }
+  return zone;
+}
+
+void AddDelegation(Zone& zone, const dns::Name& child,
+                   const std::vector<NameserverSpec>& nameservers,
+                   bool with_ds, std::uint32_t ttl) {
+  for (const auto& ns : nameservers) {
+    zone.Add(dns::MakeNs(child, ns.name, ttl));
+    if (!ns.name.IsSubdomainOf(zone.apex())) continue;
+    for (const auto& addr : ns.addresses) {
+      if (addr.is_v4()) {
+        zone.Add(dns::MakeA(ns.name, addr.v4(), ttl));
+      } else {
+        zone.Add(dns::MakeAaaa(ns.name, addr.v6(), ttl));
+      }
+    }
+  }
+  if (with_ds) {
+    zone.Add(MakeDs(child, ttl));
+  }
+}
+
+std::string DomainLabel(const std::string& stem, std::size_t i) {
+  return stem + std::to_string(i);
+}
+
+void PopulateDelegations(Zone& zone, std::size_t count,
+                         const std::string& stem, double signed_fraction,
+                         net::Ipv4Address glue_base, std::uint32_t ttl) {
+  // Deterministic stride-based DS assignment: index i is signed when
+  // i * signed_fraction crosses an integer boundary, giving exactly
+  // round(count * fraction) signed children without an RNG.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    dns::Name child = zone.apex().Child(DomainLabel(stem, i));
+    acc += signed_fraction;
+    bool with_ds = acc >= 1.0;
+    if (with_ds) acc -= 1.0;
+
+    std::vector<NameserverSpec> nameservers;
+    // Registrants run 2-4 nameservers; the larger NS sets are what pushes
+    // DO=1 referrals past a 512-byte EDNS buffer.
+    int ns_count = 2 + static_cast<int>(i % 3);
+    for (int n = 1; n <= ns_count; ++n) {
+      NameserverSpec spec;
+      spec.name = child.Child("ns" + std::to_string(n));
+      std::uint32_t offset =
+          static_cast<std::uint32_t>(i * 4 + static_cast<std::size_t>(n));
+      spec.addresses.push_back(
+          net::Ipv4Address(glue_base.bits() + offset));
+      // Most delegations also carry AAAA glue nowadays; besides realism,
+      // the extra 28 bytes per record matter for EDNS-512 truncation.
+      if (i % 5 != 0) {
+        net::Ipv6Address::Bytes v6{};
+        v6[0] = 0x20;
+        v6[1] = 0x01;
+        v6[2] = 0x0d;
+        v6[3] = 0xba;
+        v6[4] = static_cast<std::uint8_t>(glue_base.bits() >> 24);
+        v6[5] = static_cast<std::uint8_t>(glue_base.bits() >> 16);
+        for (int b = 0; b < 4; ++b) {
+          v6[static_cast<std::size_t>(12 + b)] =
+              static_cast<std::uint8_t>(offset >> (8 * (3 - b)));
+        }
+        spec.addresses.push_back(net::Ipv6Address(v6));
+      }
+      nameservers.push_back(std::move(spec));
+    }
+    AddDelegation(zone, child, nameservers, with_ds, ttl);
+  }
+}
+
+}  // namespace clouddns::zone

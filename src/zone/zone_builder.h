@@ -1,0 +1,52 @@
+// Generators for the zones the study's authoritative servers serve:
+// a root zone delegating TLDs, TLD zones with many registered-domain
+// delegations, and PTR zones for resolver fleets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/ip.h"
+#include "zone/zone.h"
+
+namespace clouddns::zone {
+
+struct NameserverSpec {
+  dns::Name name;
+  std::vector<net::IpAddress> addresses;  ///< v4 and/or v6.
+};
+
+struct ZoneBuildConfig {
+  dns::Name apex;
+  std::vector<NameserverSpec> nameservers;  ///< The zone's own NS set.
+  bool sign = true;
+  std::uint32_t soa_ttl = 3600;
+  std::uint32_t ns_ttl = 3600;
+  std::uint32_t negative_ttl = 600;  ///< SOA MINIMUM, negative-caching TTL.
+};
+
+/// Builds apex SOA + NS (+ in-zone glue). Signing is applied by the caller
+/// *after* all delegations are added (RRSIGs cover final content).
+[[nodiscard]] Zone MakeZoneSkeleton(const ZoneBuildConfig& config);
+
+/// Adds a delegation for `child` (NS records at the cut + glue for in-zone
+/// nameservers). When `with_ds` is set, a mock DS for the child is added,
+/// marking the child as DNSSEC-signed from the parent's perspective.
+void AddDelegation(Zone& zone, const dns::Name& child,
+                   const std::vector<NameserverSpec>& nameservers,
+                   bool with_ds, std::uint32_t ttl = 86400);
+
+/// Adds `count` registered-domain delegations named
+/// "<stem><index>.<apex>", each with two in-child nameservers and IPv4
+/// glue derived deterministically from `glue_base`. A `signed_fraction`
+/// of children (by index stride) also get DS records.
+void PopulateDelegations(Zone& zone, std::size_t count,
+                         const std::string& stem, double signed_fraction,
+                         net::Ipv4Address glue_base,
+                         std::uint32_t ttl = 86400);
+
+/// Registered-domain label for index `i` ("<stem><i>").
+[[nodiscard]] std::string DomainLabel(const std::string& stem, std::size_t i);
+
+}  // namespace clouddns::zone

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "analysis/calibration.h"
+#include "analysis/dataset_cache.h"
+#include "analysis/experiments.h"
+#include "analysis/rdns.h"
+#include "analysis/report.h"
+
+namespace clouddns::analysis {
+namespace {
+
+dns::Name N(const char* text) { return *dns::Name::Parse(text); }
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("name       value"), std::string::npos);
+  EXPECT_NE(out.find("long-name  22"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Percent(0.315), "31.5%");
+  EXPECT_EQ(Percent(0.0), "0.0%");
+  EXPECT_EQ(Ratio(0.52), "0.52");
+  EXPECT_EQ(Count(0), "0");
+  EXPECT_EQ(Count(999), "999");
+  EXPECT_EQ(Count(1000), "1,000");
+  EXPECT_EQ(Count(1234567), "1,234,567");
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+}
+
+TEST(RdnsTest, LookupThroughArpaZones) {
+  std::vector<std::pair<net::IpAddress, dns::Name>> ptrs = {
+      {*net::IpAddress::Parse("66.220.144.5"),
+       N("edge-dns-66-220-144-5.ams.tfbnw.example")},
+      {*net::IpAddress::Parse("2a03:2880::5"),
+       N("edge-dns-66-220-144-5.ams.tfbnw.example")},
+  };
+  RdnsDatabase rdns(ptrs);
+  EXPECT_EQ(rdns.record_count(), 2u);
+
+  auto v4 = rdns.Lookup(*net::IpAddress::Parse("66.220.144.5"));
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_EQ(v4->ToString(), "edge-dns-66-220-144-5.ams.tfbnw.example");
+  auto v6 = rdns.Lookup(*net::IpAddress::Parse("2a03:2880::5"));
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(*v4, *v6);
+  EXPECT_FALSE(rdns.Lookup(*net::IpAddress::Parse("9.9.9.9")).has_value());
+}
+
+TEST(RdnsTest, GroupByPtrNameFindsDualStackHosts) {
+  std::vector<std::pair<net::IpAddress, dns::Name>> ptrs = {
+      {*net::IpAddress::Parse("66.220.144.5"), N("host-a.ams.fb.example")},
+      {*net::IpAddress::Parse("2a03:2880::5"), N("host-a.ams.fb.example")},
+      {*net::IpAddress::Parse("66.220.144.6"), N("host-b.ams.fb.example")},
+  };
+  RdnsDatabase rdns(ptrs);
+  auto groups = rdns.GroupByPtrName({*net::IpAddress::Parse("66.220.144.5"),
+                                     *net::IpAddress::Parse("2a03:2880::5"),
+                                     *net::IpAddress::Parse("66.220.144.6"),
+                                     *net::IpAddress::Parse("8.8.8.8")});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("host-a.ams.fb.example").size(), 2u);
+  EXPECT_EQ(groups.at("host-b.ams.fb.example").size(), 1u);
+}
+
+TEST(RdnsTest, SiteTagExtraction) {
+  EXPECT_EQ(*SiteTagFromPtr(N("edge-dns-1-2-3-4.ams.tfbnw.example")), "ams");
+  EXPECT_EQ(*SiteTagFromPtr(N("r7.syd.tfbnw.example")), "syd");
+  EXPECT_FALSE(SiteTagFromPtr(N("too.short")).has_value());
+}
+
+TEST(CalibrationTest, PaperTablesAreInternallyConsistent) {
+  // Table 3 valid <= total everywhere.
+  for (cloud::Vantage vantage :
+       {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
+    for (int year : {2018, 2019, 2020}) {
+      auto row = paper::Table3(vantage, year);
+      ASSERT_TRUE(row.has_value());
+      EXPECT_LT(row->queries_valid_b, row->queries_total_b);
+    }
+  }
+  // Table 5 rows are probability pairs.
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    for (int year : {2018, 2019, 2020}) {
+      auto row = paper::Table5(provider, cloud::Vantage::kNl, year);
+      ASSERT_TRUE(row.has_value());
+      EXPECT_NEAR(row->ipv4 + row->ipv6, 1.0, 0.011);
+      EXPECT_NEAR(row->udp + row->tcp, 1.0, 0.011);
+    }
+  }
+  // Table 6 family split sums to the total.
+  auto t6 = paper::Table6(cloud::Provider::kAmazon, cloud::Vantage::kNl);
+  ASSERT_TRUE(t6.has_value());
+  EXPECT_EQ(t6->v4 + t6->v6, t6->total);
+}
+
+TEST(CalibrationTest, RootIsJunkier) {
+  for (int year : {2018, 2019, 2020}) {
+    EXPECT_GT(paper::SectionThreeJunk(cloud::Vantage::kRoot, year),
+              paper::SectionThreeJunk(cloud::Vantage::kNl, year));
+  }
+}
+
+TEST(DatasetCacheTest, CacheKeyDependsOnConfig) {
+  cloud::ScenarioConfig a;
+  cloud::ScenarioConfig b = a;
+  EXPECT_EQ(CacheKey(a), CacheKey(b));
+  b.year = 2019;
+  EXPECT_NE(CacheKey(a), CacheKey(b));
+  b = a;
+  b.seed ^= 1;
+  EXPECT_NE(CacheKey(a), CacheKey(b));
+  b = a;
+  b.qmin_override_off = true;
+  EXPECT_NE(CacheKey(a), CacheKey(b));
+}
+
+TEST(DatasetCacheTest, SecondLoadReusesCapture) {
+  std::string dir = ::testing::TempDir() + "/clouddns_cache_test";
+  std::filesystem::remove_all(dir);
+
+  cloud::ScenarioConfig config;
+  config.vantage = cloud::Vantage::kNl;
+  config.year = 2020;
+  config.client_queries = 15'000;
+  config.zone_scale = 0.0005;
+
+  auto first = LoadOrRun(config, dir);
+  ASSERT_FALSE(first.records.empty());
+  auto second = LoadOrRun(config, dir);
+  EXPECT_EQ(first.records, second.records);
+  // The rebuilt context still supports enrichment.
+  EXPECT_GT(second.asdb.as_count(), 20u);
+  EXPECT_FALSE(second.ptr_records.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheTest, QueryBudgetEnvOverride) {
+  ::unsetenv("CLOUDDNS_QUERIES");
+  EXPECT_EQ(EffectiveQueryBudget(123), 123u);
+  ::setenv("CLOUDDNS_QUERIES", "777", 1);
+  EXPECT_EQ(EffectiveQueryBudget(123), 777u);
+  ::setenv("CLOUDDNS_QUERIES", "garbage", 1);
+  EXPECT_EQ(EffectiveQueryBudget(123), 123u);
+  ::unsetenv("CLOUDDNS_QUERIES");
+}
+
+TEST(ExperimentsTest, EdnsStatsOnSyntheticRecords) {
+  cloud::ScenarioResult result;
+  cloud::RegisterProviderAses(result.asdb);
+  auto add = [&result](const char* src, std::uint16_t edns, bool tc,
+                       dns::Transport transport) {
+    capture::CaptureRecord r;
+    r.src = *net::IpAddress::Parse(src);
+    r.qname = *dns::Name::Parse("x.nl");
+    r.transport = transport;
+    r.has_edns = edns > 0;
+    r.edns_udp_size = edns;
+    r.tc = tc;
+    result.records.push_back(std::move(r));
+  };
+  // Facebook: 2 x 512 (one truncated), 1 x 4096, 1 TCP.
+  add("66.220.144.1", 512, true, dns::Transport::kUdp);
+  add("66.220.144.2", 512, false, dns::Transport::kUdp);
+  add("66.220.144.3", 4096, false, dns::Transport::kUdp);
+  add("66.220.144.3", 4096, false, dns::Transport::kTcp);
+
+  auto stats = ComputeEdnsStats(result, cloud::Provider::kFacebook);
+  EXPECT_NEAR(stats.fraction_at_512, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(stats.truncated_udp, 1.0 / 3.0, 1e-9);
+  ASSERT_EQ(stats.cdf.size(), 2u);
+}
+
+TEST(ExperimentsTest, TransportMixOnSyntheticRecords) {
+  cloud::ScenarioResult result;
+  cloud::RegisterProviderAses(result.asdb);
+  capture::CaptureRecord r;
+  r.qname = *dns::Name::Parse("x.nl");
+  r.src = *net::IpAddress::Parse("8.8.8.8");
+  result.records.push_back(r);
+  r.src = *net::IpAddress::Parse("2001:4860:1000::1");
+  r.transport = dns::Transport::kTcp;
+  result.records.push_back(r);
+
+  auto mix = ComputeTransportMix(result, cloud::Provider::kGoogle);
+  EXPECT_EQ(mix.total, 2u);
+  EXPECT_DOUBLE_EQ(mix.ipv4, 0.5);
+  EXPECT_DOUBLE_EQ(mix.ipv6, 0.5);
+  EXPECT_DOUBLE_EQ(mix.tcp, 0.5);
+}
+
+}  // namespace
+}  // namespace clouddns::analysis

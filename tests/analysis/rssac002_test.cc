@@ -1,0 +1,99 @@
+#include "analysis/rssac002.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::analysis {
+namespace {
+
+capture::CaptureRecord Record(sim::TimeUs time, const char* src,
+                              dns::Transport transport, dns::Rcode rcode) {
+  capture::CaptureRecord r;
+  r.time_us = time;
+  r.src = *net::IpAddress::Parse(src);
+  r.qname = *dns::Name::Parse("x.nl");
+  r.transport = transport;
+  r.rcode = rcode;
+  r.query_size = 40;
+  r.response_size = 120;
+  return r;
+}
+
+TEST(Rssac002Test, BucketsByUtcDay) {
+  sim::TimeUs day1 = sim::TimeFromCivil({2020, 5, 6});
+  sim::TimeUs day2 = sim::TimeFromCivil({2020, 5, 7});
+  capture::CaptureBuffer records = {
+      Record(day1 + 10, "8.8.8.8", dns::Transport::kUdp,
+             dns::Rcode::kNoError),
+      Record(day1 + 20, "8.8.8.8", dns::Transport::kUdp,
+             dns::Rcode::kNxDomain),
+      Record(day2 + 30, "2001:db8::1", dns::Transport::kTcp,
+             dns::Rcode::kNoError),
+  };
+  auto report = Rssac002Report(records);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].date, "2020-05-06");
+  EXPECT_EQ(report[0].queries, 2u);
+  EXPECT_EQ(report[0].rcode_volume.at("NOERROR"), 1u);
+  EXPECT_EQ(report[0].rcode_volume.at("NXDOMAIN"), 1u);
+  EXPECT_DOUBLE_EQ(report[0].ValidRatio(), 0.5);
+  EXPECT_EQ(report[1].date, "2020-05-07");
+  EXPECT_EQ(report[1].tcp_ipv6, 1u);
+  EXPECT_EQ(report[1].unique_sources_ipv6, 1u);
+}
+
+TEST(Rssac002Test, TransportFamilyCellsSumToMarginals) {
+  sim::TimeUs t = sim::TimeFromCivil({2020, 5, 6});
+  capture::CaptureBuffer records = {
+      Record(t + 1, "8.8.8.8", dns::Transport::kUdp, dns::Rcode::kNoError),
+      Record(t + 2, "8.8.4.4", dns::Transport::kTcp, dns::Rcode::kNoError),
+      Record(t + 3, "2001:db8::1", dns::Transport::kUdp,
+             dns::Rcode::kNoError),
+      Record(t + 4, "2001:db8::2", dns::Transport::kTcp,
+             dns::Rcode::kNoError),
+  };
+  auto report = Rssac002Report(records);
+  ASSERT_EQ(report.size(), 1u);
+  const auto& day = report[0];
+  EXPECT_EQ(day.udp_ipv4 + day.udp_ipv6, day.udp_queries);
+  EXPECT_EQ(day.tcp_ipv4 + day.tcp_ipv6, day.tcp_queries);
+  EXPECT_EQ(day.udp_ipv4 + day.tcp_ipv4, day.ipv4_queries);
+  EXPECT_EQ(day.udp_ipv6 + day.tcp_ipv6, day.ipv6_queries);
+  EXPECT_EQ(day.queries, 4u);
+}
+
+TEST(Rssac002Test, UniqueSourcesDeduplicate) {
+  sim::TimeUs t = sim::TimeFromCivil({2020, 5, 6});
+  capture::CaptureBuffer records = {
+      Record(t + 1, "8.8.8.8", dns::Transport::kUdp, dns::Rcode::kNoError),
+      Record(t + 2, "8.8.8.8", dns::Transport::kUdp, dns::Rcode::kNoError),
+      Record(t + 3, "8.8.4.4", dns::Transport::kUdp, dns::Rcode::kNoError),
+  };
+  auto report = Rssac002Report(records);
+  EXPECT_EQ(report[0].unique_sources_ipv4, 2u);
+  EXPECT_EQ(report[0].unique_sources_ipv6, 0u);
+  EXPECT_DOUBLE_EQ(report[0].average_query_size, 40.0);
+  EXPECT_DOUBLE_EQ(report[0].average_response_size, 120.0);
+}
+
+TEST(Rssac002Test, YamlRenderingContainsAllMetrics) {
+  sim::TimeUs t = sim::TimeFromCivil({2020, 5, 6});
+  capture::CaptureBuffer records = {
+      Record(t + 1, "8.8.8.8", dns::Transport::kUdp, dns::Rcode::kNoError)};
+  auto report = Rssac002Report(records);
+  std::string yaml = RenderRssac002Yaml(report[0], "b.root-servers.net");
+  EXPECT_NE(yaml.find("version: rssac002v3"), std::string::npos);
+  EXPECT_NE(yaml.find("service: b.root-servers.net"), std::string::npos);
+  EXPECT_NE(yaml.find("start-period: 2020-05-06T00:00:00Z"),
+            std::string::npos);
+  EXPECT_NE(yaml.find("dns-udp-queries-received-ipv4: 1"), std::string::npos);
+  EXPECT_NE(yaml.find("metric: rcode-volume"), std::string::npos);
+  EXPECT_NE(yaml.find("NOERROR: 1"), std::string::npos);
+  EXPECT_NE(yaml.find("num-sources-ipv4: 1"), std::string::npos);
+}
+
+TEST(Rssac002Test, EmptyCaptureGivesEmptyReport) {
+  EXPECT_TRUE(Rssac002Report({}).empty());
+}
+
+}  // namespace
+}  // namespace clouddns::analysis

@@ -1,0 +1,121 @@
+#include "capture/anonymize.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/random.h"
+
+namespace clouddns::capture {
+namespace {
+
+int SharedPrefixBits(const net::IpAddress& a, const net::IpAddress& b) {
+  int width = a.bit_width();
+  for (int i = 0; i < width; ++i) {
+    if (a.bit(i) != b.bit(i)) return i;
+  }
+  return width;
+}
+
+TEST(AnonymizerTest, DeterministicForSameKey) {
+  Anonymizer a(42), b(42);
+  auto addr = *net::IpAddress::Parse("192.0.2.77");
+  EXPECT_EQ(a.Anonymize(addr), b.Anonymize(addr));
+}
+
+TEST(AnonymizerTest, DifferentKeysDiffer) {
+  Anonymizer a(1), b(2);
+  auto addr = *net::IpAddress::Parse("192.0.2.77");
+  EXPECT_NE(a.Anonymize(addr), b.Anonymize(addr));
+}
+
+TEST(AnonymizerTest, ActuallyChangesAddresses) {
+  Anonymizer anonymizer(7);
+  int changed = 0;
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    net::IpAddress addr{net::Ipv4Address(static_cast<std::uint32_t>(rng.Next()))};
+    changed += !(anonymizer.Anonymize(addr) == addr);
+  }
+  EXPECT_GT(changed, 95);
+}
+
+// The defining property: anonymized addresses share exactly as many prefix
+// bits as the originals did.
+TEST(AnonymizerTest, PrefixPreservationV4) {
+  Anonymizer anonymizer(20201027);
+  sim::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    net::IpAddress a{net::Ipv4Address(static_cast<std::uint32_t>(rng.Next()))};
+    net::IpAddress b{net::Ipv4Address(static_cast<std::uint32_t>(rng.Next()))};
+    EXPECT_EQ(SharedPrefixBits(anonymizer.Anonymize(a),
+                               anonymizer.Anonymize(b)),
+              SharedPrefixBits(a, b));
+  }
+}
+
+TEST(AnonymizerTest, PrefixPreservationV6) {
+  Anonymizer anonymizer(99);
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    net::Ipv6Address::Bytes ba{}, bb{};
+    for (auto& byte : ba) byte = static_cast<std::uint8_t>(rng.Next());
+    bb = ba;
+    // Mutate b starting at a random bit so the shared prefix is known.
+    int flip = static_cast<int>(rng.NextBelow(128));
+    bb[static_cast<std::size_t>(flip / 8)] ^=
+        static_cast<std::uint8_t>(0x80u >> (flip % 8));
+    net::IpAddress a{net::Ipv6Address(ba)}, b{net::Ipv6Address(bb)};
+    EXPECT_EQ(SharedPrefixBits(anonymizer.Anonymize(a),
+                               anonymizer.Anonymize(b)),
+              SharedPrefixBits(a, b));
+  }
+}
+
+TEST(AnonymizerTest, InjectiveOnSample) {
+  Anonymizer anonymizer(5);
+  std::unordered_set<std::string> outputs;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    outputs.insert(
+        anonymizer.Anonymize(net::IpAddress(net::Ipv4Address(i))).ToString());
+  }
+  EXPECT_EQ(outputs.size(), 4096u);  // prefix-preserving => bijective
+}
+
+TEST(AnonymizerTest, FamiliesMapIndependently) {
+  Anonymizer anonymizer(5);
+  auto v4 = anonymizer.Anonymize(*net::IpAddress::Parse("10.0.0.1"));
+  auto v6 = anonymizer.Anonymize(*net::IpAddress::Parse("::a00:1"));
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_TRUE(v6.is_v6());
+}
+
+TEST(AnonymizerTest, CaptureRewritesOnlySources) {
+  CaptureRecord record;
+  record.src = *net::IpAddress::Parse("198.51.100.7");
+  record.qname = *dns::Name::Parse("www.dom1.nl");
+  record.qtype = dns::RrType::kAaaa;
+  record.response_size = 333;
+
+  Anonymizer anonymizer(11);
+  auto anonymized = anonymizer.AnonymizeCapture({record});
+  ASSERT_EQ(anonymized.size(), 1u);
+  EXPECT_NE(anonymized[0].src, record.src);
+  EXPECT_EQ(anonymized[0].qname, record.qname);
+  EXPECT_EQ(anonymized[0].qtype, record.qtype);
+  EXPECT_EQ(anonymized[0].response_size, record.response_size);
+}
+
+// Analyses keyed on shared prefixes survive anonymization: sources from
+// the same /24 stay together, sources from different /24s stay apart.
+TEST(AnonymizerTest, GroupingAnalysesSurvive) {
+  Anonymizer anonymizer(13);
+  auto a1 = anonymizer.Anonymize(*net::IpAddress::Parse("203.0.113.5"));
+  auto a2 = anonymizer.Anonymize(*net::IpAddress::Parse("203.0.113.99"));
+  auto b1 = anonymizer.Anonymize(*net::IpAddress::Parse("198.51.100.5"));
+  EXPECT_GE(SharedPrefixBits(a1, a2), 24);
+  EXPECT_LT(SharedPrefixBits(a1, b1), 24);
+}
+
+}  // namespace
+}  // namespace clouddns::capture

@@ -1,0 +1,119 @@
+#include "cloud/providers.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/scenario.h"
+
+namespace clouddns::cloud {
+namespace {
+
+TEST(ProvidersTest, TableOneAsCountIsTwenty) {
+  // Paper Table 1: "a significant concentration of DNS queries from only
+  // 20 ASes".
+  std::size_t total = 0;
+  for (Provider provider : MeasuredProviders()) {
+    total += NetworkOf(provider).ases.size();
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(ProvidersTest, TableOneAsNumbers) {
+  EXPECT_EQ(NetworkOf(Provider::kGoogle).ases,
+            (std::vector<net::Asn>{15169}));
+  EXPECT_EQ(NetworkOf(Provider::kAmazon).ases,
+            (std::vector<net::Asn>{7224, 8987, 9059, 14168, 16509}));
+  EXPECT_EQ(NetworkOf(Provider::kFacebook).ases,
+            (std::vector<net::Asn>{32934}));
+  EXPECT_EQ(NetworkOf(Provider::kCloudflare).ases,
+            (std::vector<net::Asn>{13335}));
+  EXPECT_EQ(NetworkOf(Provider::kMicrosoft).ases.size(), 12u);
+}
+
+TEST(ProvidersTest, PublicDnsFlagsMatchTableOne) {
+  EXPECT_TRUE(NetworkOf(Provider::kGoogle).runs_public_dns);
+  EXPECT_TRUE(NetworkOf(Provider::kCloudflare).runs_public_dns);
+  EXPECT_FALSE(NetworkOf(Provider::kAmazon).runs_public_dns);
+  EXPECT_FALSE(NetworkOf(Provider::kMicrosoft).runs_public_dns);
+  EXPECT_FALSE(NetworkOf(Provider::kFacebook).runs_public_dns);
+}
+
+TEST(ProvidersTest, ProviderOfAsnRoundTrips) {
+  for (Provider provider : MeasuredProviders()) {
+    for (net::Asn asn : NetworkOf(provider).ases) {
+      EXPECT_EQ(ProviderOfAsn(asn), provider);
+    }
+  }
+  EXPECT_EQ(ProviderOfAsn(64512), Provider::kOther);
+}
+
+TEST(ProvidersTest, RegisterProviderAsesRoutesKnownAddresses) {
+  net::AsDatabase asdb;
+  RegisterProviderAses(asdb);
+  EXPECT_EQ(asdb.as_count(), 20u);
+  EXPECT_EQ(asdb.OriginAs(*net::IpAddress::Parse("8.8.8.8")), 15169u);
+  EXPECT_EQ(asdb.OriginAs(*net::IpAddress::Parse("1.1.1.1")), 13335u);
+  EXPECT_EQ(ProviderOfAsn(*asdb.OriginAs(*net::IpAddress::Parse("52.95.4.4"))),
+            Provider::kAmazon);
+  EXPECT_EQ(
+      ProviderOfAsn(*asdb.OriginAs(*net::IpAddress::Parse("2a03:2880::5"))),
+      Provider::kFacebook);
+  EXPECT_FALSE(asdb.OriginAs(*net::IpAddress::Parse("203.0.113.1")));
+}
+
+TEST(ProvidersTest, GooglePublicBlocksAreInsideGoogleSpace) {
+  net::AsDatabase asdb;
+  RegisterProviderAses(asdb);
+  for (const auto& block : NetworkOf(Provider::kGoogle).public_dns_blocks) {
+    EXPECT_EQ(asdb.OriginAs(block.address()), 15169u) << block.ToString();
+  }
+}
+
+TEST(ProvidersTest, ProfilesRejectOutOfRangeYears) {
+  EXPECT_THROW(ProfileFor(Provider::kGoogle, 2017), std::invalid_argument);
+  EXPECT_THROW(ProfileFor(Provider::kGoogle, 2021), std::invalid_argument);
+}
+
+TEST(ProvidersTest, MicrosoftNeverValidatesGoogleAlwaysDoes) {
+  for (int year : {2018, 2019, 2020}) {
+    EXPECT_FALSE(ProfileFor(Provider::kMicrosoft, year).validate_dnssec);
+    EXPECT_TRUE(ProfileFor(Provider::kGoogle, year).validate_dnssec);
+    EXPECT_TRUE(ProfileFor(Provider::kCloudflare, year).validate_dnssec);
+  }
+}
+
+TEST(ProvidersTest, GoogleQminActivatesInDecember2019) {
+  auto profile = ProfileFor(Provider::kGoogle, 2020);
+  EXPECT_TRUE(profile.qname_minimization);
+  sim::CivilDate rollout = sim::CivilFromTime(profile.qmin_enabled_at);
+  EXPECT_EQ(rollout.year, 2019);
+  EXPECT_EQ(rollout.month, 12u);
+  // The w2019 capture (Nov 2019) precedes the rollout instant.
+  EXPECT_LT(WeekStart(Vantage::kNl, 2019), profile.qmin_enabled_at);
+  EXPECT_GT(WeekStart(Vantage::kNl, 2020), profile.qmin_enabled_at);
+}
+
+TEST(ProvidersTest, EdnsDistributionsSumToOne) {
+  for (Provider provider : MeasuredProviders()) {
+    for (int year : {2018, 2019, 2020}) {
+      double total = 0;
+      for (const auto& [size, weight] :
+           ProfileFor(provider, year).edns_sizes) {
+        total += weight;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9)
+          << ToString(provider) << " " << year;
+    }
+  }
+}
+
+TEST(ProvidersTest, FacebookEdns512ShareMatchesFigureSix) {
+  auto profile = ProfileFor(Provider::kFacebook, 2020);
+  double at_512 = 0;
+  for (const auto& [size, weight] : profile.edns_sizes) {
+    if (size == 512) at_512 += weight;
+  }
+  EXPECT_NEAR(at_512, 0.30, 0.02);
+}
+
+}  // namespace
+}  // namespace clouddns::cloud

@@ -1,0 +1,208 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace clouddns::dns {
+namespace {
+
+TEST(MessageTest, QueryRoundTrip) {
+  Message query = Message::MakeQuery(0x1234, *Name::Parse("example.nl"),
+                                     RrType::kA, EdnsInfo{1232, true, 0});
+  WireBuffer wire = query.Encode();
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, query);
+  EXPECT_EQ(decoded->header.id, 0x1234);
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_EQ(decoded->edns->udp_payload_size, 1232);
+  EXPECT_TRUE(decoded->edns->dnssec_ok);
+}
+
+TEST(MessageTest, QueryWithoutEdnsRoundTrip) {
+  Message query =
+      Message::MakeQuery(7, *Name::Parse("example.nz"), RrType::kAaaa);
+  auto decoded = Message::Decode(query.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->edns.has_value());
+  EXPECT_EQ(decoded->questions[0].type, RrType::kAaaa);
+}
+
+TEST(MessageTest, ResponseRoundTripWithAllSections) {
+  Message query = Message::MakeQuery(42, *Name::Parse("www.example.nl"),
+                                     RrType::kA, EdnsInfo{4096, false, 0});
+  Message resp = Message::MakeResponse(query);
+  resp.header.aa = true;
+  resp.answers.push_back(
+      MakeA(*Name::Parse("www.example.nl"), net::Ipv4Address(192, 0, 2, 1), 300));
+  resp.authorities.push_back(
+      MakeNs(*Name::Parse("example.nl"), *Name::Parse("ns1.example.nl"), 3600));
+  resp.additionals.push_back(
+      MakeA(*Name::Parse("ns1.example.nl"), net::Ipv4Address(192, 0, 2, 53), 3600));
+
+  auto decoded = Message::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, resp);
+  EXPECT_TRUE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.aa);
+  EXPECT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->authorities.size(), 1u);
+  EXPECT_EQ(decoded->additionals.size(), 1u);
+}
+
+TEST(MessageTest, MakeResponseEchoesQuestionAndId) {
+  Message query = Message::MakeQuery(99, *Name::Parse("nl"), RrType::kSoa,
+                                     EdnsInfo{512, true, 0});
+  Message resp = Message::MakeResponse(query);
+  EXPECT_EQ(resp.header.id, 99);
+  EXPECT_TRUE(resp.header.qr);
+  ASSERT_EQ(resp.questions.size(), 1u);
+  EXPECT_EQ(resp.questions[0], query.questions[0]);
+  ASSERT_TRUE(resp.edns.has_value());
+  EXPECT_TRUE(resp.edns->dnssec_ok);  // DO bit echoed
+}
+
+TEST(MessageTest, RcodeAndFlagsSurvive) {
+  Message msg = Message::MakeQuery(1, *Name::Parse("junk.example"), RrType::kA);
+  msg.header.qr = true;
+  msg.header.rcode = Rcode::kNxDomain;
+  msg.header.ra = true;
+  auto decoded = Message::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(decoded->header.ra);
+}
+
+TEST(MessageTest, TruncationDropsSectionsAndSetsTc) {
+  Message resp = Message::MakeQuery(5, *Name::Parse("big.example.nl"),
+                                    RrType::kTxt, EdnsInfo{512, false, 0});
+  resp.header.qr = true;
+  for (int i = 0; i < 40; ++i) {
+    resp.answers.push_back(MakeTxt(*Name::Parse("big.example.nl"),
+                                   std::string(50, 'x'), 60));
+  }
+  bool truncated = false;
+  WireBuffer wire = resp.EncodeWithLimit(512, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_LE(wire.size(), 512u);
+
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.tc);
+  EXPECT_TRUE(decoded->answers.empty());
+  // Question and EDNS survive truncation.
+  EXPECT_EQ(decoded->questions.size(), 1u);
+  EXPECT_TRUE(decoded->edns.has_value());
+}
+
+TEST(MessageTest, NoTruncationWhenFits) {
+  Message resp = Message::MakeQuery(5, *Name::Parse("example.nl"), RrType::kA);
+  resp.header.qr = true;
+  resp.answers.push_back(
+      MakeA(*Name::Parse("example.nl"), net::Ipv4Address(1, 2, 3, 4), 60));
+  bool truncated = true;
+  WireBuffer wire = resp.EncodeWithLimit(512, &truncated);
+  EXPECT_FALSE(truncated);
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->header.tc);
+  EXPECT_EQ(decoded->answers.size(), 1u);
+}
+
+TEST(MessageTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Message::Decode(WireBuffer{}).has_value());
+  EXPECT_FALSE(Message::Decode(WireBuffer{1, 2, 3}).has_value());
+  // Header claims a question that is not present.
+  WireBuffer lying = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(Message::Decode(lying).has_value());
+}
+
+TEST(MessageTest, DecodeRejectsDuplicateOpt) {
+  Message query = Message::MakeQuery(1, *Name::Parse("example.nl"), RrType::kA,
+                                     EdnsInfo{4096, false, 0});
+  WireBuffer wire = query.Encode();
+  // Append a second OPT record and bump ARCOUNT.
+  WireWriter writer(wire);
+  writer.WriteU8(0);  // root name
+  writer.WriteU16(static_cast<std::uint16_t>(RrType::kOpt));
+  writer.WriteU16(4096);
+  writer.WriteU32(0);
+  writer.WriteU16(0);
+  wire[11] = 2;  // ARCOUNT low byte
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+}
+
+TEST(MessageTest, DecodeNeverCrashesOnMutatedInput) {
+  // Property test: take a valid message, flip random bytes, and require
+  // Decode to either fail cleanly or produce a message that re-encodes.
+  Message resp = Message::MakeQuery(77, *Name::Parse("www.example.nl"),
+                                    RrType::kA, EdnsInfo{1232, true, 0});
+  resp.header.qr = true;
+  resp.answers.push_back(
+      MakeA(*Name::Parse("www.example.nl"), net::Ipv4Address(192, 0, 2, 1), 300));
+  resp.authorities.push_back(
+      MakeNs(*Name::Parse("example.nl"), *Name::Parse("ns1.example.nl"), 3600));
+  WireBuffer base = resp.Encode();
+
+  std::mt19937_64 rng(1035);
+  for (int i = 0; i < 2000; ++i) {
+    WireBuffer mutated = base;
+    int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] = static_cast<std::uint8_t>(rng());
+    }
+    auto decoded = Message::Decode(mutated);
+    if (decoded) {
+      (void)decoded->Encode();  // must not throw
+    }
+  }
+}
+
+TEST(MessageTest, DecodeNeverCrashesOnRandomBytes) {
+  std::mt19937_64 rng(4096);
+  for (int i = 0; i < 2000; ++i) {
+    WireBuffer noise(rng() % 128);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+    auto decoded = Message::Decode(noise);
+    if (decoded) (void)decoded->Encode();
+  }
+}
+
+TEST(MessageTest, ToStringMentionsKeyFacts) {
+  Message query = Message::MakeQuery(3, *Name::Parse("example.nz"),
+                                     RrType::kNs, EdnsInfo{1232, false, 0});
+  std::string text = query.ToString();
+  EXPECT_NE(text.find("example.nz"), std::string::npos);
+  EXPECT_NE(text.find("NS"), std::string::npos);
+  EXPECT_NE(text.find("1232"), std::string::npos);
+}
+
+TEST(MessageTest, CompressionShrinksRealResponses) {
+  Message resp;
+  resp.header.qr = true;
+  resp.questions.push_back(Question{*Name::Parse("www.example.nl"), RrType::kA,
+                                    RrClass::kIn});
+  for (int i = 0; i < 4; ++i) {
+    resp.authorities.push_back(MakeNs(*Name::Parse("example.nl"),
+                                      *Name::Parse("ns" + std::to_string(i) +
+                                                   ".example.nl"),
+                                      3600));
+  }
+  WireBuffer wire = resp.Encode();
+  // Without compression each NS would repeat "example.nl" twice; with it the
+  // whole message stays well under the naive size.
+  std::size_t naive = 12;
+  naive += resp.questions[0].name.WireLength() + 4;
+  for (const auto& rr : resp.authorities) {
+    naive += rr.name.WireLength() + 10 +
+             std::get<NsRdata>(rr.rdata).nameserver.WireLength();
+  }
+  EXPECT_LT(wire.size(), naive - 30);
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->authorities.size(), 4u);
+}
+
+}  // namespace
+}  // namespace clouddns::dns

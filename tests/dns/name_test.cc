@@ -1,0 +1,130 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace clouddns::dns {
+namespace {
+
+TEST(NameTest, ParsesSimpleName) {
+  auto name = Name::Parse("www.example.nl");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->LabelCount(), 3u);
+  EXPECT_EQ(name->Label(0), "www");
+  EXPECT_EQ(name->Label(2), "nl");
+  EXPECT_EQ(name->ToString(), "www.example.nl");
+}
+
+TEST(NameTest, TrailingDotIsAbsorbed) {
+  EXPECT_EQ(*Name::Parse("example.nz."), *Name::Parse("example.nz"));
+}
+
+TEST(NameTest, RootName) {
+  auto root = Name::Parse(".");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->IsRoot());
+  EXPECT_EQ(root->LabelCount(), 0u);
+  EXPECT_EQ(root->ToString(), ".");
+  EXPECT_EQ(root->WireLength(), 1u);
+}
+
+TEST(NameTest, RejectsBadNames) {
+  EXPECT_FALSE(Name::Parse("").has_value());
+  EXPECT_FALSE(Name::Parse("..").has_value());
+  EXPECT_FALSE(Name::Parse("a..b").has_value());
+  EXPECT_FALSE(Name::Parse(".leading").has_value());
+  EXPECT_FALSE(Name::Parse("sp ace.nl").has_value());
+  EXPECT_FALSE(Name::Parse(std::string(64, 'a') + ".nl").has_value());
+}
+
+TEST(NameTest, RejectsOverlongName) {
+  // Four 63-byte labels = 4*64+1 = 257 wire bytes > 255.
+  std::string label(63, 'x');
+  std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(Name::Parse(too_long).has_value());
+  // Three fit (3*64 + 1 = 193).
+  EXPECT_TRUE(Name::Parse(label + "." + label + "." + label).has_value());
+}
+
+TEST(NameTest, WireLength) {
+  EXPECT_EQ(Name::Parse("nl")->WireLength(), 4u);            // 1+2+1
+  EXPECT_EQ(Name::Parse("example.nl")->WireLength(), 12u);   // 1+7+1+2+1
+}
+
+TEST(NameTest, CaseInsensitiveEquality) {
+  EXPECT_EQ(*Name::Parse("WWW.Example.NL"), *Name::Parse("www.example.nl"));
+  NameHash hash;
+  EXPECT_EQ(hash(*Name::Parse("WWW.Example.NL")),
+            hash(*Name::Parse("www.example.nl")));
+}
+
+TEST(NameTest, PreservesOriginalCase) {
+  EXPECT_EQ(Name::Parse("ExAmPlE.Nl")->ToString(), "ExAmPlE.Nl");
+  EXPECT_EQ(Name::Parse("ExAmPlE.Nl")->ToKey(), "example.nl");
+}
+
+TEST(NameTest, ParentChainEndsAtRoot) {
+  Name name = *Name::Parse("a.b.c");
+  EXPECT_EQ(name.Parent().ToString(), "b.c");
+  EXPECT_EQ(name.Parent().Parent().ToString(), "c");
+  EXPECT_TRUE(name.Parent().Parent().Parent().IsRoot());
+  EXPECT_TRUE(Name{}.Parent().IsRoot());
+}
+
+TEST(NameTest, Suffix) {
+  Name name = *Name::Parse("a.b.c.d");
+  EXPECT_EQ(name.Suffix(2).ToString(), "c.d");
+  EXPECT_EQ(name.Suffix(0).ToString(), ".");
+  EXPECT_EQ(name.Suffix(4), name);
+  EXPECT_EQ(name.Suffix(9), name);
+}
+
+TEST(NameTest, Child) {
+  Name nl = *Name::Parse("nl");
+  EXPECT_EQ(nl.Child("example").ToString(), "example.nl");
+  EXPECT_EQ(Name{}.Child("nz").ToString(), "nz");
+  EXPECT_THROW(nl.Child(""), std::invalid_argument);
+  EXPECT_THROW(nl.Child(std::string(64, 'a')), std::invalid_argument);
+}
+
+TEST(NameTest, IsSubdomainOf) {
+  Name zone = *Name::Parse("example.nl");
+  EXPECT_TRUE(Name::Parse("www.example.nl")->IsSubdomainOf(zone));
+  EXPECT_TRUE(Name::Parse("a.b.example.nl")->IsSubdomainOf(zone));
+  EXPECT_TRUE(zone.IsSubdomainOf(zone));
+  EXPECT_FALSE(Name::Parse("example.nz")->IsSubdomainOf(zone));
+  EXPECT_FALSE(Name::Parse("badexample.nl")->IsSubdomainOf(zone));
+  EXPECT_FALSE(Name::Parse("nl")->IsSubdomainOf(zone));
+  // Everything is under the root.
+  EXPECT_TRUE(zone.IsSubdomainOf(Name{}));
+  // Case-insensitive.
+  EXPECT_TRUE(Name::Parse("WWW.EXAMPLE.NL")->IsSubdomainOf(zone));
+}
+
+TEST(NameTest, CanonicalOrdering) {
+  // RFC 4034 §6.1 example ordering.
+  EXPECT_LT(*Name::Parse("example"), *Name::Parse("a.example"));
+  EXPECT_LT(*Name::Parse("a.example"), *Name::Parse("yljkjljk.a.example"));
+  EXPECT_LT(*Name::Parse("yljkjljk.a.example"), *Name::Parse("z.a.example"));
+  EXPECT_LT(*Name::Parse("z.example"), *Name::Parse("b.z.example"));
+  EXPECT_EQ(Name::Parse("A.EXAMPLE")->Compare(*Name::Parse("a.example")), 0);
+}
+
+TEST(NameTest, FromLabelsValidates) {
+  EXPECT_EQ(Name::FromLabels({"www", "example", "nl"}).ToString(),
+            "www.example.nl");
+  EXPECT_THROW(Name::FromLabels({""}), std::invalid_argument);
+  EXPECT_THROW(Name::FromLabels({std::string(64, 'a')}),
+               std::invalid_argument);
+}
+
+TEST(NameTest, HashDistinguishesLabelBoundaries) {
+  NameHash hash;
+  // "ab.c" vs "a.bc" must hash (and compare) differently.
+  EXPECT_NE(*Name::Parse("ab.c"), *Name::Parse("a.bc"));
+  EXPECT_NE(hash(*Name::Parse("ab.c")), hash(*Name::Parse("a.bc")));
+}
+
+}  // namespace
+}  // namespace clouddns::dns

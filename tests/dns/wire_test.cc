@@ -1,0 +1,268 @@
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::dns {
+namespace {
+
+TEST(WireWriterTest, IntegersAreBigEndian) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteU8(0xab);
+  writer.WriteU16(0x1234);
+  writer.WriteU32(0xdeadbeef);
+  ASSERT_EQ(buf.size(), 7u);
+  EXPECT_EQ(buf[0], 0xab);
+  EXPECT_EQ(buf[1], 0x12);
+  EXPECT_EQ(buf[2], 0x34);
+  EXPECT_EQ(buf[3], 0xde);
+  EXPECT_EQ(buf[6], 0xef);
+}
+
+TEST(WireReaderTest, ReadsBackWhatWriterWrote) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteU16(0xbeef);
+  writer.WriteU32(0x01020304);
+
+  WireReader reader(buf);
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  ASSERT_TRUE(reader.ReadU16(u16));
+  ASSERT_TRUE(reader.ReadU32(u32));
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0x01020304u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireReaderTest, RefusesToReadPastEnd) {
+  WireBuffer buf = {0x01};
+  WireReader reader(buf);
+  std::uint16_t u16 = 0;
+  EXPECT_FALSE(reader.ReadU16(u16));
+  std::uint8_t u8 = 0;
+  EXPECT_TRUE(reader.ReadU8(u8));
+  EXPECT_FALSE(reader.ReadU8(u8));
+}
+
+TEST(WireNameTest, UncompressedRoundTrip) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  Name name = *Name::Parse("www.example.nl");
+  writer.WriteName(name);
+  // 1+3 + 1+7 + 1+2 + 1 = 16 bytes.
+  EXPECT_EQ(buf.size(), 16u);
+
+  WireReader reader(buf);
+  Name decoded;
+  ASSERT_TRUE(reader.ReadName(decoded));
+  EXPECT_EQ(decoded, name);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireNameTest, RootNameIsSingleByte) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteName(Name{});
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0u);
+}
+
+TEST(WireNameTest, SecondOccurrenceIsCompressed) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  Name name = *Name::Parse("ns1.example.nl");
+  writer.WriteName(name);
+  std::size_t first_size = buf.size();
+  writer.WriteName(name);
+  // The whole second name collapses to one 2-byte pointer.
+  EXPECT_EQ(buf.size(), first_size + 2);
+
+  WireReader reader(buf);
+  Name a, b;
+  ASSERT_TRUE(reader.ReadName(a));
+  ASSERT_TRUE(reader.ReadName(b));
+  EXPECT_EQ(a, name);
+  EXPECT_EQ(b, name);
+}
+
+TEST(WireNameTest, SharedSuffixIsCompressed) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteName(*Name::Parse("a.example.nl"));
+  std::size_t first = buf.size();
+  writer.WriteName(*Name::Parse("b.example.nl"));
+  // Second name: 1+1 ("b") + 2 (pointer to "example.nl") = 4 bytes.
+  EXPECT_EQ(buf.size() - first, 4u);
+
+  WireReader reader(buf);
+  Name a, b;
+  ASSERT_TRUE(reader.ReadName(a));
+  ASSERT_TRUE(reader.ReadName(b));
+  EXPECT_EQ(b.ToString(), "b.example.nl");
+}
+
+TEST(WireNameTest, CompressionIsCaseInsensitive) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteName(*Name::Parse("EXAMPLE.NL"));
+  std::size_t first = buf.size();
+  writer.WriteName(*Name::Parse("example.nl"));
+  EXPECT_EQ(buf.size() - first, 2u);
+}
+
+TEST(WireNameTest, CompressionDisabled) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  Name name = *Name::Parse("sig.example.nl");
+  writer.WriteName(name);
+  std::size_t first = buf.size();
+  writer.WriteName(name, /*compress=*/false);
+  EXPECT_EQ(buf.size() - first, first);  // full copy
+}
+
+TEST(WireNameTest, RejectsPointerLoop) {
+  // A name that points at itself.
+  WireBuffer buf = {0xc0, 0x00};
+  WireReader reader(buf);
+  Name name;
+  EXPECT_FALSE(reader.ReadName(name));
+}
+
+TEST(WireNameTest, RejectsMutualPointerLoop) {
+  WireBuffer buf = {0xc0, 0x02, 0xc0, 0x00};
+  WireReader reader(buf);
+  Name name;
+  EXPECT_FALSE(reader.ReadName(name));
+}
+
+TEST(WireNameTest, RejectsTruncatedLabel) {
+  WireBuffer buf = {0x05, 'a', 'b'};  // label claims 5 bytes, only 2 present
+  WireReader reader(buf);
+  Name name;
+  EXPECT_FALSE(reader.ReadName(name));
+}
+
+TEST(WireNameTest, RejectsMissingTerminator) {
+  WireBuffer buf = {0x01, 'a'};  // no root byte, no pointer
+  WireReader reader(buf);
+  Name name;
+  EXPECT_FALSE(reader.ReadName(name));
+}
+
+TEST(WireNameTest, RejectsReservedLabelType) {
+  WireBuffer buf = {0x80, 0x01, 0x00};  // 0b10 label type is reserved
+  WireReader reader(buf);
+  Name name;
+  EXPECT_FALSE(reader.ReadName(name));
+}
+
+TEST(WireNameTest, PointerToForwardOffsetTerminates) {
+  // Pointer chain that walks forward then to a valid name; hop limit must
+  // still let legitimate (if odd) encodings through.
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteName(*Name::Parse("x.nl"));        // offset 0
+  buf.push_back(0xc0);                           // pointer at offset 6
+  buf.push_back(0x00);
+  WireReader reader(buf);
+  ASSERT_TRUE(reader.Seek(6));
+  Name name;
+  ASSERT_TRUE(reader.ReadName(name));
+  EXPECT_EQ(name.ToString(), "x.nl");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireNameTest, CursorResumesAfterPointer) {
+  // name1, then [label "a" + pointer to name1], then a trailing u16; the
+  // reader must resume right after the pointer.
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteName(*Name::Parse("example.nl"));
+  writer.WriteName(*Name::Parse("a.example.nl"));
+  writer.WriteU16(0x4242);
+
+  WireReader reader(buf);
+  Name n1, n2;
+  ASSERT_TRUE(reader.ReadName(n1));
+  ASSERT_TRUE(reader.ReadName(n2));
+  std::uint16_t trailer = 0;
+  ASSERT_TRUE(reader.ReadU16(trailer));
+  EXPECT_EQ(trailer, 0x4242);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireNameTest, OffsetsBeyondPointerRangeAreNotCompressionTargets) {
+  // Compression pointers address 14 bits (0x3fff). Names first written
+  // past that offset must be emitted in full, and the whole buffer must
+  // still decode.
+  WireBuffer buf;
+  WireWriter writer(buf);
+  // Fill past 0x3fff with unique (incompressible) names.
+  int i = 0;
+  while (buf.size() <= 0x4000) {
+    writer.WriteName(*Name::Parse("n" + std::to_string(i++) + ".filler"));
+  }
+  std::size_t late = buf.size();
+  Name target = *Name::Parse("late-name.example");
+  writer.WriteName(target);           // first occurrence, beyond 0x3fff
+  std::size_t first_len = buf.size() - late;
+  writer.WriteName(target);           // must NOT compress to an offset
+                                      // beyond the pointer range
+  std::size_t second_len = buf.size() - late - first_len;
+  EXPECT_EQ(second_len, first_len);   // full copy, no pointer
+
+  WireReader reader(buf);
+  ASSERT_TRUE(reader.Seek(late));
+  Name a, b;
+  ASSERT_TRUE(reader.ReadName(a));
+  ASSERT_TRUE(reader.ReadName(b));
+  EXPECT_EQ(a, target);
+  EXPECT_EQ(b, target);
+}
+
+TEST(WireNameTest, SuffixWrittenEarlyIsStillPointableLate) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  Name target = *Name::Parse("early.example");
+  writer.WriteName(target);  // offset 0: always pointable
+  int i = 0;
+  while (buf.size() <= 0x4000) {
+    writer.WriteName(*Name::Parse("n" + std::to_string(i++) + ".filler"));
+  }
+  std::size_t late = buf.size();
+  writer.WriteName(target);
+  EXPECT_EQ(buf.size() - late, 2u);  // a single pointer back to offset 0
+
+  WireReader reader(buf);
+  ASSERT_TRUE(reader.Seek(late));
+  Name decoded;
+  ASSERT_TRUE(reader.ReadName(decoded));
+  EXPECT_EQ(decoded, target);
+}
+
+TEST(WireWriterTest, PatchU16) {
+  WireBuffer buf;
+  WireWriter writer(buf);
+  writer.WriteU16(0);
+  writer.WriteU32(0x11223344);
+  writer.PatchU16(0, 0xaabb);
+  EXPECT_EQ(buf[0], 0xaa);
+  EXPECT_EQ(buf[1], 0xbb);
+  EXPECT_EQ(buf[2], 0x11);  // rest untouched
+}
+
+TEST(WireReaderTest, SeekAndSkip) {
+  WireBuffer buf = {1, 2, 3, 4};
+  WireReader reader(buf);
+  EXPECT_TRUE(reader.Skip(2));
+  std::uint8_t v = 0;
+  ASSERT_TRUE(reader.ReadU8(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(reader.Seek(5));
+  EXPECT_TRUE(reader.Seek(4));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace clouddns::dns

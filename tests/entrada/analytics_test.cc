@@ -1,0 +1,122 @@
+#include "entrada/analytics.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::entrada {
+namespace {
+
+capture::CaptureBuffer MakeRecords() {
+  capture::CaptureBuffer records;
+  auto add = [&records](const char* src, const char* qname, dns::RrType qtype,
+                        dns::Rcode rcode, dns::Transport transport,
+                        sim::TimeUs time) {
+    capture::CaptureRecord r;
+    r.src = *net::IpAddress::Parse(src);
+    r.qname = *dns::Name::Parse(qname);
+    r.qtype = qtype;
+    r.rcode = rcode;
+    r.transport = transport;
+    r.time_us = time;
+    r.server_id = 0;
+    records.push_back(std::move(r));
+  };
+  sim::TimeUs jan = sim::TimeFromCivil({2020, 1, 15});
+  sim::TimeUs feb = sim::TimeFromCivil({2020, 2, 15});
+  add("8.8.8.8", "a.nl", dns::RrType::kA, dns::Rcode::kNoError,
+      dns::Transport::kUdp, jan);
+  add("8.8.8.8", "b.nl", dns::RrType::kNs, dns::Rcode::kNoError,
+      dns::Transport::kUdp, jan);
+  add("8.8.4.4", "c.nl", dns::RrType::kA, dns::Rcode::kNxDomain,
+      dns::Transport::kUdp, feb);
+  add("2001:db8::1", "d.nl", dns::RrType::kAaaa, dns::Rcode::kNoError,
+      dns::Transport::kTcp, feb);
+  return records;
+}
+
+TEST(AnalyticsTest, CountByQtype) {
+  auto records = MakeRecords();
+  auto agg = CountBy(records, KeyQtype());
+  EXPECT_EQ(agg.total, 4u);
+  EXPECT_EQ(agg.Of("A"), 2u);
+  EXPECT_EQ(agg.Of("NS"), 1u);
+  EXPECT_EQ(agg.Of("AAAA"), 1u);
+  EXPECT_EQ(agg.Of("MX"), 0u);
+  EXPECT_DOUBLE_EQ(agg.Share("A"), 0.5);
+}
+
+TEST(AnalyticsTest, CountByWithFilter) {
+  auto records = MakeRecords();
+  auto agg = CountBy(records, KeyQtype(), FilterValid());
+  EXPECT_EQ(agg.total, 3u);
+  EXPECT_EQ(agg.Of("A"), 1u);  // the NXDOMAIN A query is filtered out
+}
+
+TEST(AnalyticsTest, CountIfJunk) {
+  auto records = MakeRecords();
+  EXPECT_EQ(CountIf(records, FilterJunk()), 1u);
+  EXPECT_EQ(CountIf(records, FilterValid()), 3u);
+  EXPECT_EQ(CountIf(records, nullptr), 4u);
+}
+
+TEST(AnalyticsTest, AndCombinatorShortCircuits) {
+  auto records = MakeRecords();
+  auto combined = And(FilterValid(), FilterTransport(dns::Transport::kTcp));
+  EXPECT_EQ(CountIf(records, combined), 1u);
+  // And() with a null side behaves like the other side alone.
+  EXPECT_EQ(CountIf(records, And(nullptr, FilterJunk())), 1u);
+}
+
+TEST(AnalyticsTest, DistinctExactAndSketchAgree) {
+  auto records = MakeRecords();
+  EXPECT_EQ(DistinctExact(records, KeySrcAddress()), 3u);
+  EXPECT_NEAR(DistinctSketch(records, KeySrcAddress()).Estimate(), 3.0, 0.5);
+}
+
+TEST(AnalyticsTest, KeyIpFamily) {
+  auto records = MakeRecords();
+  auto agg = CountBy(records, KeyIpFamily());
+  EXPECT_EQ(agg.Of("IPv4"), 3u);
+  EXPECT_EQ(agg.Of("IPv6"), 1u);
+}
+
+TEST(AnalyticsTest, KeySrcAsUsesLongestPrefix) {
+  net::AsDatabase asdb;
+  asdb.AddAs(15169, "GOOGLE");
+  asdb.Announce(*net::Prefix::Parse("8.8.8.0/24"), 15169);
+  auto records = MakeRecords();
+  auto agg = CountBy(records, KeySrcAs(asdb));
+  EXPECT_EQ(agg.Of("AS15169"), 2u);
+  EXPECT_EQ(agg.Of("AS?"), 2u);  // unrouted sources
+}
+
+TEST(AnalyticsTest, CollectCdfSkipsNullopt) {
+  auto records = MakeRecords();
+  auto cdf = CollectCdf(
+      records,
+      [](const capture::CaptureRecord& r) -> std::optional<double> {
+        if (r.transport != dns::Transport::kUdp) return std::nullopt;
+        return 100.0;
+      });
+  EXPECT_EQ(cdf.count(), 3u);
+}
+
+TEST(AnalyticsTest, CountByMonthBuckets) {
+  auto records = MakeRecords();
+  auto months = CountByMonth(records, KeyQtype());
+  ASSERT_EQ(months.size(), 2u);
+  EXPECT_EQ(months.at("2020-01").total, 2u);
+  EXPECT_EQ(months.at("2020-02").total, 2u);
+  EXPECT_EQ(months.at("2020-02").Of("AAAA"), 1u);
+}
+
+TEST(AnalyticsTest, EmptyBufferYieldsEmptyAggregates) {
+  capture::CaptureBuffer empty;
+  auto agg = CountBy(empty, KeyQtype());
+  EXPECT_EQ(agg.total, 0u);
+  EXPECT_DOUBLE_EQ(agg.Share("A"), 0.0);
+  EXPECT_EQ(DistinctExact(empty, KeySrcAddress()), 0u);
+  EXPECT_TRUE(CountByMonth(empty, KeyQtype()).empty());
+}
+
+}  // namespace
+}  // namespace clouddns::entrada

@@ -1,0 +1,70 @@
+#include "entrada/cdf.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::entrada {
+namespace {
+
+TEST(CdfTest, EmptyCdfIsSafe) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(10), 0.0);
+  EXPECT_TRUE(cdf.Curve().empty());
+}
+
+TEST(CdfTest, MedianOfOddCount) {
+  Cdf cdf;
+  for (double v : {5.0, 1.0, 3.0}) cdf.Add(v);
+  EXPECT_DOUBLE_EQ(cdf.Median(), 3.0);
+}
+
+TEST(CdfTest, QuantilesNearestRank) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(i);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100.0);
+}
+
+TEST(CdfTest, FractionAtOrBelow) {
+  Cdf cdf;
+  for (double v : {512.0, 512.0, 1232.0, 4096.0}) cdf.Add(v);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(511), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(512), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1232), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(9999), 1.0);
+}
+
+TEST(CdfTest, CurveHasOnePointPerDistinctValue) {
+  Cdf cdf;
+  for (double v : {512.0, 512.0, 1232.0, 4096.0}) cdf.Add(v);
+  auto curve = cdf.Curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].first, 512.0);
+  EXPECT_DOUBLE_EQ(curve[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].first, 4096.0);
+  EXPECT_DOUBLE_EQ(curve[2].second, 1.0);
+}
+
+TEST(CdfTest, InterleavedAddAndQuery) {
+  Cdf cdf;
+  cdf.Add(10);
+  EXPECT_DOUBLE_EQ(cdf.Median(), 10.0);
+  cdf.Add(20);
+  cdf.Add(30);
+  EXPECT_DOUBLE_EQ(cdf.Median(), 20.0);  // re-sorts after new samples
+  EXPECT_EQ(cdf.count(), 3u);
+}
+
+TEST(CdfTest, QuantileClampsOutOfRangeInput) {
+  Cdf cdf;
+  cdf.Add(7);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(2.0), 7.0);
+}
+
+}  // namespace
+}  // namespace clouddns::entrada

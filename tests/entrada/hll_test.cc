@@ -1,0 +1,83 @@
+#include "entrada/hll.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace clouddns::entrada {
+namespace {
+
+TEST(HllTest, EmptyEstimatesZero) {
+  Hll hll;
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HllTest, SmallCardinalitiesAreNearExact) {
+  Hll hll;
+  for (int i = 0; i < 100; ++i) hll.Add("key" + std::to_string(i));
+  EXPECT_NEAR(hll.Estimate(), 100.0, 3.0);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  Hll hll;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) hll.Add("key" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 20.0, 2.0);
+}
+
+TEST(HllTest, LargeCardinalityWithinExpectedError) {
+  // p=14 -> standard error ~0.81%; allow 3 sigma.
+  Hll hll;
+  sim::Rng rng(42);
+  constexpr int kN = 1'000'000;
+  for (int i = 0; i < kN; ++i) hll.AddHash(rng.Next());
+  EXPECT_NEAR(hll.Estimate(), kN, kN * 0.025);
+}
+
+TEST(HllTest, MidRangeCardinality) {
+  Hll hll;
+  for (int i = 0; i < 50'000; ++i) hll.Add("resolver-" + std::to_string(i));
+  EXPECT_NEAR(hll.Estimate(), 50'000, 50'000 * 0.03);
+}
+
+TEST(HllTest, AddressesAndStringsDoNotCollideByFamily) {
+  // The same 4 bytes as IPv4 vs inside an IPv6 address must count as two.
+  Hll hll;
+  hll.Add(*net::IpAddress::Parse("1.2.3.4"));
+  hll.Add(*net::IpAddress::Parse("::102:304"));
+  EXPECT_NEAR(hll.Estimate(), 2.0, 0.5);
+}
+
+TEST(HllTest, MergeEstimatesUnion) {
+  Hll a, b;
+  for (int i = 0; i < 10'000; ++i) a.Add("a" + std::to_string(i));
+  for (int i = 0; i < 10'000; ++i) b.Add("b" + std::to_string(i));
+  // 5000 shared keys.
+  for (int i = 0; i < 5'000; ++i) {
+    a.Add("shared" + std::to_string(i));
+    b.Add("shared" + std::to_string(i));
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), 25'000, 25'000 * 0.03);
+}
+
+TEST(HllTest, MergeWithEmptyIsIdentity) {
+  Hll a, empty;
+  for (int i = 0; i < 1000; ++i) a.Add("x" + std::to_string(i));
+  double before = a.Estimate();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Estimate(), before);
+}
+
+TEST(HllTest, DeterministicForSameInput) {
+  Hll a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Add("k" + std::to_string(i));
+    b.Add("k" + std::to_string(i));
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+}  // namespace
+}  // namespace clouddns::entrada

@@ -1,0 +1,87 @@
+#include "entrada/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.h"
+
+namespace clouddns::entrada {
+namespace {
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving topk(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int n = 0; n <= i; ++n) topk.Add("k" + std::to_string(i));
+  }
+  auto top = topk.Top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "k4");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "k3");
+  EXPECT_EQ(topk.MaxError(), 0u);
+  EXPECT_EQ(topk.total(), 1u + 2 + 3 + 4 + 5);
+}
+
+TEST(SpaceSavingTest, WeightsAccumulate) {
+  SpaceSaving topk(4);
+  topk.Add("a", 100);
+  topk.Add("b", 50);
+  topk.Add("a", 7);
+  auto top = topk.Top(2);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 107u);
+}
+
+TEST(SpaceSavingTest, EvictionNeverUnderestimates) {
+  SpaceSaving topk(3);
+  topk.Add("a", 10);
+  topk.Add("b", 8);
+  topk.Add("c", 1);
+  topk.Add("d");  // evicts c (count 1); d gets count 2, error 1
+  auto top = topk.Top(4);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[2].key, "d");
+  EXPECT_EQ(top[2].count, 2u);
+  EXPECT_EQ(top[2].error, 1u);
+}
+
+TEST(SpaceSavingTest, HeavyHittersSurviveZipfStream) {
+  // Property: with capacity well above the true top-k, the heaviest keys
+  // of a skewed stream must surface in order.
+  SpaceSaving topk(64);
+  sim::ZipfSampler zipf(10000, 1.1);
+  sim::Rng rng(7);
+  std::map<std::size_t, std::uint64_t> truth;
+  for (int i = 0; i < 200000; ++i) {
+    std::size_t rank = zipf.Sample(rng);
+    ++truth[rank];
+    topk.Add("as" + std::to_string(rank));
+  }
+  auto top = topk.Top(5);
+  ASSERT_EQ(top.size(), 5u);
+  // Rank 0 dominates the stream and must rank first.
+  EXPECT_EQ(top[0].key, "as0");
+  // Each reported count is within the structure's error bound of truth.
+  for (const auto& entry : top) {
+    std::size_t rank = std::stoul(entry.key.substr(2));
+    EXPECT_GE(entry.count, truth[rank]);
+    EXPECT_LE(entry.count - entry.error, truth[rank]);
+  }
+}
+
+TEST(SpaceSavingTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(SpaceSavingTest, TopHandlesKLargerThanTracked) {
+  SpaceSaving topk(8);
+  topk.Add("only");
+  auto top = topk.Top(100);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, "only");
+}
+
+}  // namespace
+}  // namespace clouddns::entrada

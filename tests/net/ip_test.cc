@@ -1,0 +1,170 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+namespace clouddns::net {
+namespace {
+
+TEST(Ipv4AddressTest, ParsesDottedQuad) {
+  auto addr = Ipv4Address::Parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->octet(0), 192);
+  EXPECT_EQ(addr->octet(1), 0);
+  EXPECT_EQ(addr->octet(2), 2);
+  EXPECT_EQ(addr->octet(3), 1);
+  EXPECT_EQ(addr->bits(), 0xc0000201u);
+}
+
+TEST(Ipv4AddressTest, ParsesBoundaryValues) {
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::Parse("255.255.255.255").has_value());
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->bits(), 0xffffffffu);
+}
+
+TEST(Ipv4AddressTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.04").has_value());  // leading zero
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("-1.2.3.4").has_value());
+}
+
+TEST(Ipv4AddressTest, FormatRoundTrip) {
+  Ipv4Address addr(10, 20, 30, 40);
+  EXPECT_EQ(addr.ToString(), "10.20.30.40");
+  EXPECT_EQ(Ipv4Address::Parse(addr.ToString()), addr);
+}
+
+TEST(Ipv4AddressTest, ByteRoundTrip) {
+  Ipv4Address addr(1, 2, 3, 4);
+  EXPECT_EQ(Ipv4Address::FromBytes(addr.ToBytes()), addr);
+}
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_LT(Ipv4Address(1, 0, 0, 1), Ipv4Address(1, 0, 0, 2));
+}
+
+TEST(Ipv6AddressTest, ParsesFullForm) {
+  auto addr = Ipv6Address::Parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->group(0), 0x2001);
+  EXPECT_EQ(addr->group(1), 0x0db8);
+  EXPECT_EQ(addr->group(7), 0x0001);
+}
+
+TEST(Ipv6AddressTest, ParsesCompressedForms) {
+  EXPECT_EQ(Ipv6Address::Parse("::")->ToString(), "::");
+  EXPECT_EQ(Ipv6Address::Parse("::1")->ToString(), "::1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8::")->ToString(), "2001:db8::");
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8::1")->ToString(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::Parse("fe80::1:2:3")->group(0), 0xfe80);
+}
+
+TEST(Ipv6AddressTest, ParsesEmbeddedIpv4) {
+  auto addr = Ipv6Address::Parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->group(5), 0xffff);
+  EXPECT_EQ(addr->group(6), 0xc000);
+  EXPECT_EQ(addr->group(7), 0x0201);
+}
+
+TEST(Ipv6AddressTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv6Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse(":").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse(":::").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1::2::3").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("g::1").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8::").has_value());
+  // "::" must compress at least one group.
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4::5:6:7:8").has_value());
+}
+
+TEST(Ipv6AddressTest, CanonicalFormCompressesLongestRun) {
+  // Two zero runs: the longer one is compressed.
+  EXPECT_EQ(Ipv6Address::Parse("2001:0:0:1:0:0:0:1")->ToString(),
+            "2001:0:0:1::1");
+  // Equal runs: the first is compressed.
+  EXPECT_EQ(Ipv6Address::Parse("2001:0:0:1:2:0:0:1")->ToString(),
+            "2001::1:2:0:0:1");
+  // A single zero group is not compressed.
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8:0:1:1:1:1:1")->ToString(),
+            "2001:db8:0:1:1:1:1:1");
+}
+
+TEST(Ipv6AddressTest, ParseFormatRoundTripRandomized) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    std::array<std::uint16_t, 8> groups;
+    for (auto& g : groups) {
+      // Bias towards zeros so compression paths get exercised.
+      g = (rng() % 3 == 0) ? 0 : static_cast<std::uint16_t>(rng());
+    }
+    Ipv6Address addr = Ipv6Address::FromGroups(groups);
+    auto reparsed = Ipv6Address::Parse(addr.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << addr.ToString();
+    EXPECT_EQ(*reparsed, addr) << addr.ToString();
+  }
+}
+
+TEST(IpAddressTest, ParsesEitherFamily) {
+  auto v4 = IpAddress::Parse("198.51.100.7");
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_TRUE(v4->is_v4());
+  auto v6 = IpAddress::Parse("2001:db8::7");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_TRUE(v6->is_v6());
+  EXPECT_FALSE(IpAddress::Parse("not-an-ip").has_value());
+}
+
+TEST(IpAddressTest, BitExtraction) {
+  IpAddress v4(Ipv4Address(0x80000001u));
+  EXPECT_TRUE(v4.bit(0));
+  EXPECT_FALSE(v4.bit(1));
+  EXPECT_TRUE(v4.bit(31));
+  EXPECT_EQ(v4.bit_width(), 32);
+
+  auto v6 = IpAddress::Parse("8000::1");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_TRUE(v6->bit(0));
+  EXPECT_FALSE(v6->bit(1));
+  EXPECT_TRUE(v6->bit(127));
+  EXPECT_EQ(v6->bit_width(), 128);
+}
+
+TEST(IpAddressTest, V4AndV6NeverCompareEqual) {
+  IpAddress v4(Ipv4Address(0));
+  IpAddress v6((Ipv6Address()));
+  EXPECT_NE(v4, v6);
+}
+
+TEST(IpAddressTest, HashSpreadsAndMatchesEquality) {
+  IpAddressHash hash;
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(hash(IpAddress(Ipv4Address(i))));
+  }
+  // FNV over distinct inputs should nearly never collide at this scale.
+  EXPECT_GT(hashes.size(), 995u);
+  EXPECT_EQ(hash(IpAddress(Ipv4Address(42))), hash(IpAddress(Ipv4Address(42))));
+}
+
+TEST(EndpointTest, Formatting) {
+  Endpoint v4{IpAddress(Ipv4Address(192, 0, 2, 1)), 53};
+  EXPECT_EQ(v4.ToString(), "192.0.2.1:53");
+  Endpoint v6{*IpAddress::Parse("2001:db8::1"), 853};
+  EXPECT_EQ(v6.ToString(), "[2001:db8::1]:853");
+}
+
+}  // namespace
+}  // namespace clouddns::net

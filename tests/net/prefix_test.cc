@@ -1,0 +1,105 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::net {
+namespace {
+
+TEST(PrefixTest, ParsesCidr) {
+  auto p = Prefix::Parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8);
+  EXPECT_EQ(p->ToString(), "10.0.0.0/8");
+}
+
+TEST(PrefixTest, BareAddressIsHostPrefix) {
+  EXPECT_EQ(Prefix::Parse("10.1.2.3")->length(), 32);
+  EXPECT_EQ(Prefix::Parse("2001:db8::1")->length(), 128);
+}
+
+TEST(PrefixTest, MasksHostBitsOnConstruction) {
+  auto p = Prefix::Parse("10.1.2.3/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(), "10.0.0.0/8");
+  EXPECT_EQ(*p, *Prefix::Parse("10.255.255.255/8"));
+}
+
+TEST(PrefixTest, RejectsBadInput) {
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/1x").has_value());
+  EXPECT_FALSE(Prefix::Parse("banana/8").has_value());
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  auto p = *Prefix::Parse("192.168.0.0/16");
+  EXPECT_TRUE(p.Contains(*IpAddress::Parse("192.168.1.1")));
+  EXPECT_TRUE(p.Contains(*IpAddress::Parse("192.168.255.255")));
+  EXPECT_FALSE(p.Contains(*IpAddress::Parse("192.169.0.0")));
+  EXPECT_FALSE(p.Contains(*IpAddress::Parse("2001:db8::1")));  // family
+}
+
+TEST(PrefixTest, ContainsAddressV6) {
+  auto p = *Prefix::Parse("2001:db8::/32");
+  EXPECT_TRUE(p.Contains(*IpAddress::Parse("2001:db8::1")));
+  EXPECT_TRUE(p.Contains(*IpAddress::Parse("2001:db8:ffff::")));
+  EXPECT_FALSE(p.Contains(*IpAddress::Parse("2001:db9::")));
+}
+
+TEST(PrefixTest, ZeroLengthContainsWholeFamily) {
+  auto v4_default = *Prefix::Parse("0.0.0.0/0");
+  EXPECT_TRUE(v4_default.Contains(*IpAddress::Parse("255.1.2.3")));
+  EXPECT_FALSE(v4_default.Contains(*IpAddress::Parse("::1")));
+}
+
+TEST(PrefixTest, ContainsPrefix) {
+  auto p16 = *Prefix::Parse("10.1.0.0/16");
+  auto p24 = *Prefix::Parse("10.1.2.0/24");
+  EXPECT_TRUE(p16.Contains(p24));
+  EXPECT_FALSE(p24.Contains(p16));
+  EXPECT_TRUE(p16.Contains(p16));
+}
+
+TEST(PrefixTest, NonOctetAlignedMask) {
+  auto p = *Prefix::Parse("10.1.2.0/23");
+  EXPECT_TRUE(p.Contains(*IpAddress::Parse("10.1.3.255")));
+  EXPECT_FALSE(p.Contains(*IpAddress::Parse("10.1.4.0")));
+
+  auto p6 = *Prefix::Parse("2001:db8:8000::/33");
+  EXPECT_TRUE(p6.Contains(*IpAddress::Parse("2001:db8:8000::1")));
+  EXPECT_TRUE(p6.Contains(*IpAddress::Parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(p6.Contains(*IpAddress::Parse("2001:db8:7fff::1")));
+}
+
+TEST(HostInPrefixTest, EnumeratesHosts) {
+  auto p = *Prefix::Parse("10.0.0.0/24");
+  EXPECT_EQ(HostInPrefix(p, 0).ToString(), "10.0.0.0");
+  EXPECT_EQ(HostInPrefix(p, 7).ToString(), "10.0.0.7");
+  EXPECT_EQ(HostInPrefix(p, 255).ToString(), "10.0.0.255");
+  // Wraps past the host space instead of escaping the prefix.
+  EXPECT_TRUE(p.Contains(HostInPrefix(p, 1000)));
+}
+
+TEST(HostInPrefixTest, V6Hosts) {
+  auto p = *Prefix::Parse("2001:db8::/64");
+  EXPECT_EQ(HostInPrefix(p, 1).ToString(), "2001:db8::1");
+  EXPECT_EQ(HostInPrefix(p, 0x1234).ToString(), "2001:db8::1234");
+  EXPECT_TRUE(p.Contains(HostInPrefix(p, 0xffffffffull)));
+}
+
+TEST(MaskAddressTest, EdgeLengths) {
+  auto addr = *IpAddress::Parse("255.255.255.255");
+  EXPECT_EQ(MaskAddress(addr, 0).ToString(), "0.0.0.0");
+  EXPECT_EQ(MaskAddress(addr, 32).ToString(), "255.255.255.255");
+  EXPECT_EQ(MaskAddress(addr, 1).ToString(), "128.0.0.0");
+
+  auto v6 = *IpAddress::Parse("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff");
+  EXPECT_EQ(MaskAddress(v6, 0).ToString(), "::");
+  EXPECT_EQ(MaskAddress(v6, 1).ToString(), "8000::");
+  EXPECT_EQ(MaskAddress(v6, 128), v6);
+}
+
+}  // namespace
+}  // namespace clouddns::net

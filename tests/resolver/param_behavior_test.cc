@@ -1,0 +1,118 @@
+// Parameterized behaviour sweep over the resolver configuration space
+// (q-min x validation x EDNS size): invariants that must hold in EVERY
+// configuration, checked against the captured TLD traffic.
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "resolver/resolver.h"
+
+namespace clouddns::resolver {
+namespace {
+
+using testutil::MiniInternet;
+using testutil::N;
+
+struct BehaviorParam {
+  bool qmin;
+  bool validate;
+  std::uint16_t edns;
+
+  friend std::ostream& operator<<(std::ostream& os, const BehaviorParam& p) {
+    return os << "qmin" << p.qmin << "_val" << p.validate << "_edns"
+              << p.edns;
+  }
+};
+
+class ResolverBehaviorTest : public ::testing::TestWithParam<BehaviorParam> {};
+
+TEST_P(ResolverBehaviorTest, InvariantsHoldAcrossConfigurations) {
+  const BehaviorParam& param = GetParam();
+  MiniInternet net;
+  ResolverConfig config;
+  EgressHost host;
+  host.v4 = *net::IpAddress::Parse("10.1.0.1");
+  host.v6 = *net::IpAddress::Parse("2001:db8:10::1");
+  host.site = net.resolver_site;
+  config.hosts = {host};
+  config.qname_minimization = param.qmin;
+  config.validate_dnssec = param.validate;
+  config.edns_udp_size = param.edns;
+  RecursiveResolver resolver(*net.network, config, net.RootHintsV4(),
+                             net.RootHintsV6());
+
+  // Resolve a spread of names: registered (signed and unsigned children),
+  // nonexistent, and repeats that must come from cache.
+  sim::TimeUs t = 1'000'000;
+  for (int i = 0; i < 12; ++i) {
+    auto result = resolver.Resolve(
+        N(("www.dom" + std::to_string(i % 6) + ".nl").c_str()),
+        i % 2 == 0 ? dns::RrType::kA : dns::RrType::kAaaa, t);
+    EXPECT_NE(result.rcode, dns::Rcode::kServFail);
+    EXPECT_LE(result.upstream_queries, config.max_upstream_queries);
+    t += 1'000'000;
+  }
+  auto nx = resolver.Resolve(N("missing-name.nl"), dns::RrType::kA, t);
+  EXPECT_EQ(nx.rcode, dns::Rcode::kNxDomain);
+
+  for (const auto& record : net.nl_server->captured()) {
+    // Invariant: the DO bit mirrors the validation config.
+    EXPECT_EQ(record.do_bit, param.validate);
+    // Invariant: EDNS config is advertised verbatim (or absent).
+    if (param.edns == 0) {
+      EXPECT_FALSE(record.has_edns);
+    } else {
+      EXPECT_TRUE(record.has_edns);
+      EXPECT_EQ(record.edns_udp_size, param.edns);
+    }
+    // Invariant: q-min resolvers never leak more than one label below the
+    // zone to the TLD; the TLD's captured qnames have at most 2 labels
+    // (registered domain) and are NS-type probes... except the RFC 7816
+    // full-qname fallback and DS/DNSKEY chain queries.
+    if (param.qmin && record.qtype != dns::RrType::kDs &&
+        record.qtype != dns::RrType::kDnskey) {
+      EXPECT_LE(record.qname.LabelCount(), 2u) << record.qname.ToString();
+    }
+    // Invariant: TCP appears only when a truncated UDP answer preceded it,
+    // which requires a small EDNS buffer in this topology.
+    if (param.edns >= 1232 || !param.validate) {
+      EXPECT_EQ(record.transport, dns::Transport::kUdp);
+    }
+    // Invariant: DNSSEC record types are only ever requested by validators.
+    if (!param.validate) {
+      EXPECT_NE(record.qtype, dns::RrType::kDs);
+      EXPECT_NE(record.qtype, dns::RrType::kDnskey);
+    }
+  }
+
+  // Cache invariant: repeating the full workload immediately must be
+  // answered locally.
+  std::size_t captured_before = net.nl_server->captured().size();
+  for (int i = 0; i < 12; ++i) {
+    auto result = resolver.Resolve(
+        N(("www.dom" + std::to_string(i % 6) + ".nl").c_str()),
+        i % 2 == 0 ? dns::RrType::kA : dns::RrType::kAaaa, t);
+    EXPECT_TRUE(result.from_cache);
+  }
+  EXPECT_EQ(net.nl_server->captured().size(), captured_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, ResolverBehaviorTest,
+    ::testing::Values(BehaviorParam{false, false, 4096},
+                      BehaviorParam{false, false, 512},
+                      BehaviorParam{false, false, 0},
+                      BehaviorParam{false, true, 4096},
+                      BehaviorParam{false, true, 1232},
+                      BehaviorParam{false, true, 512},
+                      BehaviorParam{true, false, 4096},
+                      BehaviorParam{true, false, 1232},
+                      BehaviorParam{true, true, 4096},
+                      BehaviorParam{true, true, 512}),
+    [](const ::testing::TestParamInfo<BehaviorParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace clouddns::resolver

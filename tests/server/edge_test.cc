@@ -1,0 +1,113 @@
+// Error-path coverage: malformed queries, unsupported opcodes, lame
+// servers, and the resolver's handling of upstream failures.
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "resolver/resolver.h"
+
+namespace clouddns::server {
+namespace {
+
+using testutil::MiniInternet;
+using testutil::N;
+
+TEST(ServerEdgeTest, MultiQuestionQueriesGetFormErr) {
+  MiniInternet net;
+  dns::Message query = dns::Message::MakeQuery(1, N("nl"), dns::RrType::kSoa);
+  query.questions.push_back(
+      dns::Question{N("example.nl"), dns::RrType::kA, dns::RrClass::kIn});
+  auto response = net.nl_server->Respond(query);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kNotImp);
+}
+
+TEST(ServerEdgeTest, EmptyQuestionGetsFormErr) {
+  MiniInternet net;
+  dns::Message query;
+  query.header.id = 7;
+  auto response = net.nl_server->Respond(query);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kFormErr);
+}
+
+TEST(ServerEdgeTest, NonQueryOpcodeGetsNotImp) {
+  MiniInternet net;
+  dns::Message query = dns::Message::MakeQuery(1, N("nl"), dns::RrType::kSoa);
+  query.header.opcode = dns::Opcode::kNotify;
+  auto response = net.nl_server->Respond(query);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kNotImp);
+}
+
+TEST(ServerEdgeTest, ResponsesArriveAtServerAreDropped) {
+  MiniInternet net;
+  dns::Message response = dns::Message::MakeQuery(1, N("nl"), dns::RrType::kA);
+  response.header.qr = true;  // a reflected response, not a query
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("10.0.0.1"), 1234};
+  EXPECT_TRUE(net.nl_server->HandlePacket(ctx, response.Encode()).empty());
+  EXPECT_TRUE(net.nl_server->captured().empty());
+}
+
+TEST(ServerEdgeTest, CaptureRecordsRefusedQueries) {
+  // Out-of-bailiwick queries are REFUSED *and* still captured — the paper
+  // counts them as junk (non-NOERROR).
+  MiniInternet net;
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("10.0.0.1"), 1234};
+  dns::Message query =
+      dns::Message::MakeQuery(1, N("example.com"), dns::RrType::kA);
+  auto wire = net.nl_server->HandlePacket(ctx, query.Encode());
+  ASSERT_FALSE(wire.empty());
+  ASSERT_EQ(net.nl_server->captured().size(), 1u);
+  EXPECT_EQ(net.nl_server->captured()[0].rcode, dns::Rcode::kRefused);
+  EXPECT_TRUE(dns::IsJunkRcode(net.nl_server->captured()[0].rcode));
+}
+
+TEST(ResolverEdgeTest, LameServerYieldsServFail) {
+  // A resolver whose "root hint" points at the .nl server (which refuses
+  // out-of-zone queries) must fail cleanly, not loop.
+  MiniInternet net;
+  resolver::ResolverConfig config;
+  resolver::EgressHost host;
+  host.v4 = *net::IpAddress::Parse("10.1.0.1");
+  host.site = net.resolver_site;
+  config.hosts = {host};
+  resolver::RecursiveResolver resolver(
+      *net.network, config, {*net::IpAddress::Parse(MiniInternet::kNlV4)},
+      {});
+  auto result = resolver.Resolve(N("www.example.com"), dns::RrType::kA, 1000);
+  EXPECT_EQ(result.rcode, dns::Rcode::kServFail);
+  EXPECT_LE(result.upstream_queries, 2);
+}
+
+TEST(ResolverEdgeTest, UnreachableRootYieldsServFail) {
+  MiniInternet net;
+  resolver::ResolverConfig config;
+  resolver::EgressHost host;
+  host.v4 = *net::IpAddress::Parse("10.1.0.1");
+  host.site = net.resolver_site;
+  config.hosts = {host};
+  // Hints point at an address no one serves and no default route covers:
+  // build a private network without a default route.
+  sim::Network isolated(net.latency);
+  resolver::RecursiveResolver resolver(
+      isolated, config, {*net::IpAddress::Parse("192.0.2.99")}, {});
+  auto result = resolver.Resolve(N("www.dom1.nl"), dns::RrType::kA, 1000);
+  EXPECT_EQ(result.rcode, dns::Rcode::kServFail);
+}
+
+TEST(ResolverEdgeTest, HostPoolWithoutUsableFamilyFails) {
+  MiniInternet net;
+  resolver::ResolverConfig config;
+  resolver::EgressHost host;
+  host.v6 = *net::IpAddress::Parse("2001:db8:10::1");  // v6-only host
+  host.site = net.resolver_site;
+  config.hosts = {host};
+  // Root hints offered over v4 only: the v6-only host cannot reach them.
+  resolver::RecursiveResolver resolver(*net.network, config,
+                                       net.RootHintsV4(), {});
+  auto result = resolver.Resolve(N("www.dom1.nl"), dns::RrType::kA, 1000);
+  EXPECT_EQ(result.rcode, dns::Rcode::kServFail);
+  EXPECT_EQ(result.upstream_queries, 0);
+}
+
+}  // namespace
+}  // namespace clouddns::server

@@ -1,0 +1,97 @@
+#include "server/leaf_auth.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::server {
+namespace {
+
+dns::Name N(const char* text) { return *dns::Name::Parse(text); }
+
+dns::Message Ask(LeafAuthService& leaf, const char* qname, dns::RrType qtype) {
+  return leaf.Respond(dns::Message::MakeQuery(1, N(qname), qtype));
+}
+
+TEST(LeafAuthTest, AnswersADeterministically) {
+  LeafAuthService leaf{LeafAuthConfig{}};
+  auto first = Ask(leaf, "www.dom5.nl", dns::RrType::kA);
+  auto second = Ask(leaf, "www.dom5.nl", dns::RrType::kA);
+  ASSERT_EQ(first.answers.size(), 1u);
+  EXPECT_EQ(first.answers, second.answers);
+  EXPECT_TRUE(first.header.aa);
+
+  auto other = Ask(leaf, "www.dom6.nl", dns::RrType::kA);
+  EXPECT_NE(first.answers, other.answers);
+}
+
+TEST(LeafAuthTest, AaaaFollowsConfiguredFraction) {
+  LeafAuthConfig all_v6;
+  all_v6.v6_fraction = 1.0;
+  LeafAuthService leaf_all(all_v6);
+  EXPECT_EQ(Ask(leaf_all, "a.dom1.nl", dns::RrType::kAaaa).answers.size(), 1u);
+
+  LeafAuthConfig no_v6;
+  no_v6.v6_fraction = 0.0;
+  LeafAuthService leaf_none(no_v6);
+  auto response = Ask(leaf_none, "a.dom1.nl", dns::RrType::kAaaa);
+  EXPECT_TRUE(response.answers.empty());
+  ASSERT_FALSE(response.authorities.empty());  // NODATA with SOA
+  EXPECT_EQ(response.authorities[0].type, dns::RrType::kSoa);
+}
+
+TEST(LeafAuthTest, NsQueriesBelowDelegationAreNoData) {
+  LeafAuthService leaf{LeafAuthConfig{}};
+  auto response = Ask(leaf, "www.dom5.nl", dns::RrType::kNs);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::kNoError);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_FALSE(response.authorities.empty());
+}
+
+TEST(LeafAuthTest, DnskeyAnswersAreRsaSized) {
+  LeafAuthService leaf{LeafAuthConfig{}};
+  auto response = Ask(leaf, "dom5.nl", dns::RrType::kDnskey);
+  ASSERT_EQ(response.answers.size(), 2u);
+  auto wire = response.Encode();
+  EXPECT_GT(wire.size(), 512u);  // forces TCP for 512-buffer validators
+}
+
+TEST(LeafAuthTest, HandlePacketTruncatesAtEdnsLimit) {
+  LeafAuthService leaf{LeafAuthConfig{}};
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("10.0.0.1"), 33333};
+  ctx.transport = dns::Transport::kUdp;
+  dns::Message query = dns::Message::MakeQuery(
+      3, N("dom5.nl"), dns::RrType::kDnskey, dns::EdnsInfo{512, true, 0});
+  auto wire = leaf.HandlePacket(ctx, query.Encode());
+  auto response = dns::Message::Decode(wire);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->header.tc);
+
+  ctx.transport = dns::Transport::kTcp;
+  auto tcp = dns::Message::Decode(leaf.HandlePacket(ctx, query.Encode()));
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_FALSE(tcp->header.tc);
+  EXPECT_EQ(tcp->answers.size(), 2u);
+}
+
+TEST(LeafAuthTest, SyntheticAddressesAreStableAndInRange) {
+  auto v4 = LeafAuthService::SyntheticV4(N("host.dom1.nl"));
+  EXPECT_EQ(v4, LeafAuthService::SyntheticV4(N("HOST.dom1.NL")));
+  EXPECT_EQ(v4.octet(0), 100);
+
+  auto v6 = LeafAuthService::SyntheticV6(N("host.dom1.nl"));
+  EXPECT_EQ(v6.group(0), 0x2001);
+  EXPECT_EQ(v6.group(1), 0x0db8);
+}
+
+TEST(LeafAuthTest, CountsHandledPackets) {
+  LeafAuthService leaf{LeafAuthConfig{}};
+  sim::PacketContext ctx;
+  ctx.src = {*net::IpAddress::Parse("10.0.0.1"), 33333};
+  dns::Message query = dns::Message::MakeQuery(3, N("x.nl"), dns::RrType::kA);
+  leaf.HandlePacket(ctx, query.Encode());
+  leaf.HandlePacket(ctx, query.Encode());
+  EXPECT_EQ(leaf.handled(), 2u);
+}
+
+}  // namespace
+}  // namespace clouddns::server

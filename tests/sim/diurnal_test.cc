@@ -1,0 +1,92 @@
+#include "sim/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace clouddns::sim {
+namespace {
+
+TEST(DiurnalWarpTest, TimesAreMonotoneAndInsideWindow) {
+  TimeUs start = TimeFromCivil({2020, 4, 5});
+  TimeUs end = start + 7 * kMicrosPerDay;
+  DiurnalWarp warp(start, end, 0.45);
+  TimeUs previous = 0;
+  constexpr std::uint64_t kTotal = 10'000;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    TimeUs t = warp.TimeOf(i, kTotal);
+    EXPECT_GE(t, start);
+    EXPECT_LT(t, end);
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+TEST(DiurnalWarpTest, ZeroAmplitudeIsUniform) {
+  TimeUs start = TimeFromCivil({2020, 4, 5});
+  DiurnalWarp warp(start, start + kMicrosPerDay, 0.0);
+  constexpr std::uint64_t kTotal = 24'000;
+  std::array<int, 24> hourly{};
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    TimeUs t = warp.TimeOf(i, kTotal);
+    hourly[(t - start) / (kMicrosPerDay / 24)]++;
+  }
+  for (int count : hourly) EXPECT_NEAR(count, 1000, 30);
+}
+
+TEST(DiurnalWarpTest, AmplitudeCreatesPeakToTroughSwing) {
+  TimeUs start = TimeFromCivil({2020, 4, 5});
+  DiurnalWarp warp(start, start + kMicrosPerDay, 0.5);
+  constexpr std::uint64_t kTotal = 240'000;
+  std::array<int, 24> hourly{};
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    TimeUs t = warp.TimeOf(i, kTotal);
+    hourly[std::min<TimeUs>(23, (t - start) / (kMicrosPerDay / 24))]++;
+  }
+  int peak = *std::max_element(hourly.begin(), hourly.end());
+  int trough = *std::min_element(hourly.begin(), hourly.end());
+  // rate 1 +/- 0.5 -> 3:1 instantaneous; hourly binning smooths a little.
+  EXPECT_GT(static_cast<double>(peak) / trough, 2.2);
+  EXPECT_LT(static_cast<double>(peak) / trough, 3.6);
+  // Total is conserved.
+  int sum = 0;
+  for (int count : hourly) sum += count;
+  EXPECT_EQ(sum, kTotal);
+}
+
+TEST(DiurnalWarpTest, PeakLandsNearConfiguredHour) {
+  TimeUs start = TimeFromCivil({2020, 4, 5});  // midnight
+  DiurnalWarp warp(start, start + kMicrosPerDay, 0.5, /*peak_hour=*/15.0);
+  constexpr std::uint64_t kTotal = 240'000;
+  std::array<int, 24> hourly{};
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    hourly[std::min<TimeUs>(
+        23, (warp.TimeOf(i, kTotal) - start) / (kMicrosPerDay / 24))]++;
+  }
+  int peak_hour = static_cast<int>(
+      std::max_element(hourly.begin(), hourly.end()) - hourly.begin());
+  EXPECT_NEAR(peak_hour, 15, 1);
+}
+
+TEST(DiurnalWarpTest, WeeklyWindowRepeatsDaily) {
+  TimeUs start = TimeFromCivil({2018, 11, 4});
+  TimeUs end = start + 7 * kMicrosPerDay;
+  DiurnalWarp warp(start, end, 0.4);
+  constexpr std::uint64_t kTotal = 700'000;
+  std::array<int, 7> daily{};
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    daily[std::min<TimeUs>(6, (warp.TimeOf(i, kTotal) - start) /
+                                  kMicrosPerDay)]++;
+  }
+  // Whole days carry equal volume (the paper's reason for weekly windows).
+  for (int count : daily) EXPECT_NEAR(count, 100'000, 2'500);
+}
+
+TEST(DiurnalWarpTest, DegenerateInputsAreSafe) {
+  DiurnalWarp warp(100, 100, 0.5);  // empty window
+  EXPECT_EQ(warp.TimeOf(0, 0), 100u);
+  EXPECT_GE(warp.TimeOf(5, 10), 100u);
+}
+
+}  // namespace
+}  // namespace clouddns::sim

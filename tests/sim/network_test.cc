@@ -1,0 +1,151 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/latency.h"
+
+namespace clouddns::sim {
+namespace {
+
+class EchoHandler : public PacketHandler {
+ public:
+  dns::WireBuffer HandlePacket(const PacketContext& ctx,
+                               const dns::WireBuffer& query) override {
+    last_ctx = ctx;
+    ++count;
+    if (drop) return {};
+    dns::WireBuffer reply = query;
+    reply.push_back(tag);
+    return reply;
+  }
+
+  PacketContext last_ctx;
+  int count = 0;
+  bool drop = false;
+  std::uint8_t tag = 0;
+};
+
+struct Fixture {
+  Fixture() {
+    near = latency.AddSite({"NEAR", 0, 0, 1.0, 0.0});
+    far = latency.AddSite({"FAR", 100, 0, 1.0, 0.0});
+    client = latency.AddSite({"CLIENT", 10, 0, 1.0, 0.0});
+  }
+  LatencyModel latency;
+  SiteId near, far, client;
+};
+
+TEST(LatencyModelTest, RttScalesWithDistance) {
+  Fixture f;
+  std::uint32_t near_rtt = f.latency.RttUs(f.client, f.near, false);
+  std::uint32_t far_rtt = f.latency.RttUs(f.client, f.far, false);
+  EXPECT_LT(near_rtt, far_rtt);
+  // client<->near: distance 10ms + 2ms access, doubled = 24ms.
+  EXPECT_EQ(near_rtt, 24000u);
+}
+
+TEST(LatencyModelTest, V6PenaltyApplies) {
+  LatencyModel latency;
+  SiteId a = latency.AddSite({"A", 0, 0, 1.0, 30.0});
+  SiteId b = latency.AddSite({"B", 10, 0, 1.0, 0.0});
+  EXPECT_EQ(latency.RttUs(a, b, false), 24000u);
+  EXPECT_EQ(latency.RttUs(a, b, true), 84000u);  // +2*30ms one-way penalty
+}
+
+TEST(NetworkTest, RoutesToRegisteredService) {
+  Fixture f;
+  Network network(f.latency);
+  EchoHandler handler;
+  auto service = *net::IpAddress::Parse("192.0.2.53");
+  network.RegisterServer(service, f.near, handler);
+
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
+  dns::WireBuffer query = {1, 2, 3};
+  auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
+                              query, 1000);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response.size(), 4u);
+  EXPECT_EQ(result.server_site, f.near);
+  EXPECT_EQ(result.rtt_us, 24000u);
+  EXPECT_EQ(handler.last_ctx.src.port, 5353);
+  EXPECT_EQ(handler.last_ctx.transport, dns::Transport::kUdp);
+  EXPECT_EQ(handler.last_ctx.handshake_rtt_us, 0u);
+}
+
+TEST(NetworkTest, UnknownDestinationFailsWithoutDefaultRoute) {
+  Fixture f;
+  Network network(f.latency);
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
+  auto result = network.Query(src, f.client,
+                              *net::IpAddress::Parse("203.0.113.1"),
+                              dns::Transport::kUdp, {1}, 0);
+  EXPECT_FALSE(result.delivered);
+}
+
+TEST(NetworkTest, DefaultRouteCatchesUnknownDestinations) {
+  Fixture f;
+  Network network(f.latency);
+  EchoHandler leaf;
+  network.SetDefaultRoute(f.far, leaf);
+
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 1234};
+  auto result = network.Query(src, f.client,
+                              *net::IpAddress::Parse("203.0.113.1"),
+                              dns::Transport::kUdp, {1}, 0);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.server_site, f.far);
+  EXPECT_EQ(leaf.count, 1);
+}
+
+TEST(NetworkTest, AnycastPicksNearestSite) {
+  Fixture f;
+  Network network(f.latency);
+  EchoHandler near_handler, far_handler;
+  near_handler.tag = 1;
+  far_handler.tag = 2;
+  auto service = *net::IpAddress::Parse("192.0.2.53");
+  network.RegisterServer(service, f.far, far_handler);
+  network.RegisterServer(service, f.near, near_handler);
+
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
+  auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
+                              {7}, 0);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.server_site, f.near);
+  EXPECT_EQ(near_handler.count, 1);
+  EXPECT_EQ(far_handler.count, 0);
+}
+
+TEST(NetworkTest, TcpCostsExtraRoundTripAndReportsHandshake) {
+  Fixture f;
+  Network network(f.latency);
+  EchoHandler handler;
+  auto service = *net::IpAddress::Parse("192.0.2.53");
+  network.RegisterServer(service, f.near, handler);
+
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
+  auto udp = network.Query(src, f.client, service, dns::Transport::kUdp, {1},
+                           0);
+  auto tcp = network.Query(src, f.client, service, dns::Transport::kTcp, {1},
+                           0);
+  EXPECT_EQ(tcp.rtt_us, 2 * udp.rtt_us);
+  EXPECT_EQ(handler.last_ctx.handshake_rtt_us, udp.rtt_us);
+}
+
+TEST(NetworkTest, DroppedResponseIsNotDelivered) {
+  Fixture f;
+  Network network(f.latency);
+  EchoHandler handler;
+  handler.drop = true;
+  auto service = *net::IpAddress::Parse("192.0.2.53");
+  network.RegisterServer(service, f.near, handler);
+
+  net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
+  auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
+                              {1}, 0);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(handler.count, 1);
+}
+
+}  // namespace
+}  // namespace clouddns::sim

@@ -1,0 +1,113 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace clouddns::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(9);
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBelow(8)]++;
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 80);  // within 10%
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  DiscreteSampler sampler({1.0, 2.0, 7.0});
+  Rng rng(17);
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  DiscreteSampler sampler({0.0, 1.0});
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteSampler({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ZipfSamplerTest, HeadDominatesTail) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(23);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+
+  // With s=1 and n=1000, H_1000 ~ 7.485; P(rank 1) ~ 13.4%.
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.134, 0.01);
+  // Rank 1 should be drawn about twice as often as rank 2.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.15);
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(29);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(ZipfSamplerTest, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clouddns::sim

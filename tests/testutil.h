@@ -1,0 +1,99 @@
+// Shared test fixture: a miniature Internet with a root server, one ccTLD
+// (.nl) with two domains, a catch-all leaf authoritative, and a latency
+// plane — enough substrate to run full resolutions in unit tests.
+#pragma once
+
+#include <memory>
+
+#include "server/auth_server.h"
+#include "server/leaf_auth.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "zone/dnssec.h"
+#include "zone/zone_builder.h"
+
+namespace clouddns::testutil {
+
+inline dns::Name N(const char* text) { return *dns::Name::Parse(text); }
+
+struct MiniInternet {
+  static constexpr const char* kRootV4 = "199.9.14.201";
+  static constexpr const char* kRootV6 = "2001:500:200::b";
+  static constexpr const char* kNlV4 = "194.0.28.53";
+  static constexpr const char* kNlV6 = "2001:678:2c::53";
+
+  MiniInternet(std::size_t nl_domains = 50, bool sign_zones = true) {
+    auth_site = latency.AddSite({"AMS", 0, 0, 1.0, 0.0});
+    leaf_site = latency.AddSite({"LEAF", 30, 0, 1.0, 0.0});
+    resolver_site = latency.AddSite({"FRA", 8, 0, 1.0, 0.0});
+    network = std::make_unique<sim::Network>(latency);
+
+    // Root zone delegating .nl (signed).
+    zone::ZoneBuildConfig root_config;
+    root_config.apex = dns::Name{};
+    root_config.nameservers = {
+        {N("b.root-servers.net"),
+         {*net::IpAddress::Parse(kRootV4), *net::IpAddress::Parse(kRootV6)}}};
+    auto root = zone::MakeZoneSkeleton(root_config);
+    zone::AddDelegation(
+        root, N("nl"),
+        {{N("ns1.dns.nl"),
+          {*net::IpAddress::Parse(kNlV4), *net::IpAddress::Parse(kNlV6)}}},
+        /*with_ds=*/true);
+    if (sign_zones) zone::SignZone(root);
+    root_zone = std::make_shared<const zone::Zone>(std::move(root));
+
+    // .nl zone with delegations dom0..domN-1 (half signed).
+    zone::ZoneBuildConfig nl_config;
+    nl_config.apex = N("nl");
+    nl_config.nameservers = {
+        {N("ns1.dns.nl"),
+         {*net::IpAddress::Parse(kNlV4), *net::IpAddress::Parse(kNlV6)}}};
+    auto nl = zone::MakeZoneSkeleton(nl_config);
+    zone::PopulateDelegations(nl, nl_domains, "dom", 0.5,
+                              net::Ipv4Address(100, 70, 0, 0));
+    if (sign_zones) zone::SignZone(nl);
+    nl_zone = std::make_shared<const zone::Zone>(std::move(nl));
+
+    server::AuthServerConfig root_server_config;
+    root_server_config.server_id = 0;
+    root_server_config.name = "b-root";
+    root_server = std::make_unique<server::AuthServer>(root_server_config);
+    root_server->Serve(root_zone);
+    network->RegisterServer(*net::IpAddress::Parse(kRootV4), auth_site,
+                            *root_server);
+    network->RegisterServer(*net::IpAddress::Parse(kRootV6), auth_site,
+                            *root_server);
+
+    server::AuthServerConfig nl_server_config;
+    nl_server_config.server_id = 1;
+    nl_server_config.name = "nl-a";
+    nl_server = std::make_unique<server::AuthServer>(nl_server_config);
+    nl_server->Serve(nl_zone);
+    network->RegisterServer(*net::IpAddress::Parse(kNlV4), auth_site,
+                            *nl_server);
+    network->RegisterServer(*net::IpAddress::Parse(kNlV6), auth_site,
+                            *nl_server);
+
+    leaf = std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
+    network->SetDefaultRoute(leaf_site, *leaf);
+  }
+
+  std::vector<net::IpAddress> RootHintsV4() const {
+    return {*net::IpAddress::Parse(kRootV4)};
+  }
+  std::vector<net::IpAddress> RootHintsV6() const {
+    return {*net::IpAddress::Parse(kRootV6)};
+  }
+
+  sim::LatencyModel latency;
+  sim::SiteId auth_site, leaf_site, resolver_site;
+  std::unique_ptr<sim::Network> network;
+  std::shared_ptr<const zone::Zone> root_zone;
+  std::shared_ptr<const zone::Zone> nl_zone;
+  std::unique_ptr<server::AuthServer> root_server;
+  std::unique_ptr<server::AuthServer> nl_server;
+  std::unique_ptr<server::LeafAuthService> leaf;
+};
+
+}  // namespace clouddns::testutil

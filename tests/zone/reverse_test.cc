@@ -1,0 +1,81 @@
+#include "zone/reverse.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace clouddns::zone {
+namespace {
+
+TEST(ReverseTest, V4ReverseName) {
+  auto addr = *net::IpAddress::Parse("192.0.2.1");
+  EXPECT_EQ(ReverseName(addr).ToString(), "1.2.0.192.in-addr.arpa");
+}
+
+TEST(ReverseTest, V6ReverseName) {
+  auto addr = *net::IpAddress::Parse("2001:db8::1");
+  dns::Name name = ReverseName(addr);
+  EXPECT_EQ(name.LabelCount(), 34u);
+  EXPECT_EQ(name.ToString(),
+            "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2."
+            "ip6.arpa");
+}
+
+TEST(ReverseTest, V4RoundTrip) {
+  auto addr = *net::IpAddress::Parse("203.0.113.77");
+  auto back = AddressFromReverseName(ReverseName(addr));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, addr);
+}
+
+TEST(ReverseTest, V6RoundTripRandomized) {
+  std::mt19937_64 rng(3596);
+  for (int i = 0; i < 200; ++i) {
+    net::Ipv6Address::Bytes bytes;
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    net::IpAddress addr{net::Ipv6Address(bytes)};
+    auto back = AddressFromReverseName(ReverseName(addr));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, addr);
+  }
+}
+
+TEST(ReverseTest, V4RoundTripRandomized) {
+  std::mt19937_64 rng(2734);
+  for (int i = 0; i < 200; ++i) {
+    net::IpAddress addr{net::Ipv4Address(static_cast<std::uint32_t>(rng()))};
+    auto back = AddressFromReverseName(ReverseName(addr));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, addr);
+  }
+}
+
+TEST(ReverseTest, RejectsNonReverseNames) {
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("example.nl")).has_value());
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("in-addr.arpa")).has_value());
+  // Wrong label count.
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("1.2.3.in-addr.arpa"))
+          .has_value());
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("1.2.3.4.5.in-addr.arpa"))
+          .has_value());
+  // Bad octet.
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("256.2.0.192.in-addr.arpa"))
+          .has_value());
+  EXPECT_FALSE(
+      AddressFromReverseName(*dns::Name::Parse("x.2.0.192.in-addr.arpa"))
+          .has_value());
+}
+
+TEST(ReverseTest, CaseInsensitiveSuffix) {
+  auto back = AddressFromReverseName(*dns::Name::Parse("1.2.0.192.IN-ADDR.ARPA"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ToString(), "192.0.2.1");
+}
+
+}  // namespace
+}  // namespace clouddns::zone

@@ -1,0 +1,441 @@
+// cdnstool — the command-line front end to the clouddns library.
+//
+//   cdnstool simulate  --vantage nl --year 2020 --queries 100000 \
+//                      --out week.cdns [--anonymize-key K]
+//   cdnstool inspect   week.cdns [--by qtype|rcode|transport|family] [--top N]
+//   cdnstool anonymize in.cdns out.cdns --key K
+//   cdnstool dig       <qname> [qtype] [--qmin] [--validate] [--edns N]
+//   cdnstool zone-check file.zone [--origin name]
+//   cdnstool zone-sample
+//
+// Every subcommand exercises the public library API only.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/report.h"
+#include "analysis/rssac002.h"
+#include "capture/anonymize.h"
+#include "capture/columnar.h"
+#include "capture/pcap.h"
+#include "cloud/scenario.h"
+#include "entrada/analytics.h"
+#include "entrada/topk.h"
+#include "resolver/resolver.h"
+#include "server/auth_server.h"
+#include "server/leaf_auth.h"
+#include "zone/dnssec.h"
+#include "zone/master_file.h"
+#include "zone/zone_builder.h"
+
+using namespace clouddns;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::unordered_map<std::string, std::string> options;
+  std::unordered_map<std::string, bool> flags;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          args.options[key] = argv[++i];
+        } else {
+          args.flags[key] = true;
+        }
+      } else {
+        args.positional.push_back(std::move(arg));
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const {
+    return flags.count(key) > 0 || options.count(key) > 0;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cdnstool simulate   --vantage nl|nz|root --year 2018|2019|2020\n"
+      "                      [--queries N] [--seed S] [--out file.cdns]\n"
+      "                      [--anonymize-key K]\n"
+      "  cdnstool inspect    file.cdns [--by qtype|rcode|transport|family]\n"
+      "                      [--top N] [--rssac002]\n"
+      "  cdnstool anonymize  in.cdns out.cdns --key K\n"
+      "  cdnstool export-pcap in.cdns out.pcap\n"
+      "  cdnstool import-pcap in.pcap out.cdns\n"
+      "  cdnstool report     file.cdns   (cloud-provider attribution)\n"
+      "  cdnstool dig        qname [qtype] [--qmin] [--validate] [--edns N]\n"
+      "  cdnstool zone-check file.zone [--origin name]\n"
+      "  cdnstool zone-sample\n");
+  return 2;
+}
+
+cloud::Vantage VantageFrom(const std::string& text) {
+  if (text == "nz") return cloud::Vantage::kNz;
+  if (text == "root") return cloud::Vantage::kRoot;
+  return cloud::Vantage::kNl;
+}
+
+int CmdSimulate(const Args& args) {
+  cloud::ScenarioConfig config;
+  config.vantage = VantageFrom(args.Get("vantage", "nl"));
+  config.year = std::atoi(args.Get("year", "2020").c_str());
+  config.client_queries =
+      std::strtoull(args.Get("queries", "100000").c_str(), nullptr, 10);
+  config.seed = std::strtoull(args.Get("seed", "20201027").c_str(), nullptr, 10);
+
+  std::fprintf(stderr, "simulating %s %d (%llu client queries)...\n",
+               std::string(cloud::ToString(config.vantage)).c_str(),
+               config.year,
+               static_cast<unsigned long long>(config.client_queries));
+  cloud::ScenarioResult result = cloud::RunScenario(config);
+  std::fprintf(stderr, "captured %zu queries\n", result.records.size());
+
+  capture::CaptureBuffer records = std::move(result.records);
+  if (args.Has("anonymize-key")) {
+    capture::Anonymizer anonymizer(std::strtoull(
+        args.Get("anonymize-key", "1").c_str(), nullptr, 10));
+    records = anonymizer.AnonymizeCapture(records);
+    std::fprintf(stderr, "source addresses anonymized\n");
+  }
+
+  std::string out = args.Get("out", "capture.cdns");
+  if (!capture::WriteCaptureFile(out, records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto records = capture::ReadCaptureFile(args.positional[0]);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  std::printf("%zu records\n", records->size());
+  if (records->empty()) return 0;
+  std::printf("window: %s .. %s\n",
+              sim::DateString(records->front().time_us).c_str(),
+              sim::DateString(records->back().time_us).c_str());
+
+  std::string by = args.Get("by", "qtype");
+  entrada::KeyFn key;
+  if (by == "rcode") {
+    key = entrada::KeyRcode();
+  } else if (by == "transport") {
+    key = entrada::KeyTransport();
+  } else if (by == "family") {
+    key = entrada::KeyIpFamily();
+  } else {
+    key = entrada::KeyQtype();
+  }
+  auto agg = entrada::CountBy(*records, key);
+  analysis::TextTable table({by, "queries", "share"});
+  for (const auto& [bucket, count] : agg.counts) {
+    table.AddRow({bucket, analysis::Count(count),
+                  analysis::Percent(agg.Share(bucket))});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::size_t top_n =
+      std::strtoul(args.Get("top", "5").c_str(), nullptr, 10);
+  entrada::SpaceSaving topk(1024);
+  for (const auto& record : *records) topk.Add(record.src.ToString());
+  std::printf("\ntop %zu sources:\n", top_n);
+  for (const auto& entry : topk.Top(top_n)) {
+    std::printf("  %-40s %s\n", entry.key.c_str(),
+                analysis::Count(entry.count).c_str());
+  }
+  std::printf("\ndistinct sources: %llu (exact), %.0f (HLL)\n",
+              static_cast<unsigned long long>(
+                  entrada::DistinctExact(*records, entrada::KeySrcAddress())),
+              entrada::DistinctSketch(*records, entrada::KeySrcAddress())
+                  .Estimate());
+  if (args.Has("rssac002")) {
+    std::printf("\nRSSAC002-style daily metrics:\n");
+    for (const auto& day : analysis::Rssac002Report(*records)) {
+      std::printf("%s", analysis::RenderRssac002Yaml(day, "capture").c_str());
+    }
+  }
+  std::printf("junk ratio: %s\n",
+              analysis::Percent(static_cast<double>(entrada::CountIf(
+                                    *records, entrada::FilterJunk())) /
+                                static_cast<double>(records->size()))
+                  .c_str());
+  return 0;
+}
+
+int CmdAnonymize(const Args& args) {
+  if (args.positional.size() != 2 || !args.Has("key")) return Usage();
+  auto records = capture::ReadCaptureFile(args.positional[0]);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  capture::Anonymizer anonymizer(
+      std::strtoull(args.Get("key", "1").c_str(), nullptr, 10));
+  if (!capture::WriteCaptureFile(args.positional[1],
+                                 anonymizer.AnonymizeCapture(*records))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "anonymized %zu records -> %s\n", records->size(),
+               args.positional[1].c_str());
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto records = capture::ReadCaptureFile(args.positional[0]);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  // Attribution uses the paper's Table 1 provider networks; everything
+  // else counts as "other ASes".
+  net::AsDatabase asdb;
+  cloud::RegisterProviderAses(asdb);
+  std::map<std::string, std::uint64_t> per_provider;
+  std::uint64_t cloud_total = 0;
+  for (const auto& record : *records) {
+    auto asn = asdb.OriginAs(record.src);
+    cloud::Provider provider =
+        asn ? cloud::ProviderOfAsn(*asn) : cloud::Provider::kOther;
+    ++per_provider[std::string(cloud::ToString(provider))];
+    cloud_total += provider != cloud::Provider::kOther;
+  }
+  analysis::TextTable table({"provider", "queries", "share"});
+  for (const auto& [provider, count] : per_provider) {
+    table.AddRow({provider, analysis::Count(count),
+                  analysis::Percent(static_cast<double>(count) /
+                                    static_cast<double>(records->size()))});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\n5 cloud providers combined: %s of %zu queries\n",
+              analysis::Percent(static_cast<double>(cloud_total) /
+                                static_cast<double>(records->size()))
+                  .c_str(),
+              records->size());
+  return 0;
+}
+
+int CmdExportPcap(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto records = capture::ReadCaptureFile(args.positional[0]);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  if (!capture::WritePcapFile(args.positional[1], *records)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "exported %zu query packets -> %s (response metadata is not\n"
+               "representable in pcap and was dropped)\n",
+               records->size(), args.positional[1].c_str());
+  return 0;
+}
+
+int CmdImportPcap(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  auto records = capture::ReadPcapFile(args.positional[0]);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot parse %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  if (!capture::WriteCaptureFile(args.positional[1], *records)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "imported %zu DNS queries -> %s\n", records->size(),
+               args.positional[1].c_str());
+  return 0;
+}
+
+int CmdDig(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto qname = dns::Name::Parse(args.positional[0]);
+  if (!qname) {
+    std::fprintf(stderr, "error: bad name '%s'\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  dns::RrType qtype = dns::RrType::kA;
+  if (args.positional.size() > 1) {
+    auto parsed = dns::RrTypeFromString(args.positional[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "error: bad type '%s'\n",
+                   args.positional[1].c_str());
+      return 1;
+    }
+    qtype = *parsed;
+  }
+
+  // A self-contained mini Internet: root + .nl + leaf catch-all.
+  sim::LatencyModel latency;
+  auto auth_site = latency.AddSite({"AMS", 0, 0, 1.0, 0.0});
+  auto client_site = latency.AddSite({"FRA", 8, 0, 1.0, 0.0});
+  sim::Network network(latency);
+
+  zone::ZoneBuildConfig root_config;
+  root_config.apex = dns::Name{};
+  root_config.nameservers = {{*dns::Name::Parse("b.root-servers.example"),
+                              {*net::IpAddress::Parse("198.41.0.4")}}};
+  auto root = zone::MakeZoneSkeleton(root_config);
+  zone::AddDelegation(root, *dns::Name::Parse("nl"),
+                      {{*dns::Name::Parse("ns1.dns.nl"),
+                        {*net::IpAddress::Parse("194.0.28.1")}}},
+                      true, 172800);
+  zone::SignZone(root);
+  auto root_zone = std::make_shared<const zone::Zone>(std::move(root));
+
+  zone::ZoneBuildConfig nl_config;
+  nl_config.apex = *dns::Name::Parse("nl");
+  nl_config.nameservers = {{*dns::Name::Parse("ns1.dns.nl"),
+                            {*net::IpAddress::Parse("194.0.28.1")}}};
+  auto nl = zone::MakeZoneSkeleton(nl_config);
+  zone::PopulateDelegations(nl, 1000, "dom", 0.55,
+                            net::Ipv4Address(100, 70, 0, 0));
+  zone::SignZone(nl);
+  auto nl_zone = std::make_shared<const zone::Zone>(std::move(nl));
+
+  server::AuthServer root_server{server::AuthServerConfig{0, "root"}};
+  root_server.Serve(root_zone);
+  network.RegisterServer(*net::IpAddress::Parse("198.41.0.4"), auth_site,
+                         root_server);
+  server::AuthServer nl_server{server::AuthServerConfig{1, "nl"}};
+  nl_server.Serve(nl_zone);
+  network.RegisterServer(*net::IpAddress::Parse("194.0.28.1"), auth_site,
+                         nl_server);
+  server::LeafAuthService leaf{server::LeafAuthConfig{}};
+  network.SetDefaultRoute(auth_site, leaf);
+
+  resolver::ResolverConfig config;
+  resolver::EgressHost host;
+  host.v4 = *net::IpAddress::Parse("10.1.0.1");
+  host.site = client_site;
+  config.hosts = {host};
+  config.qname_minimization = args.Has("qmin");
+  config.validate_dnssec = args.Has("validate");
+  config.edns_udp_size =
+      static_cast<std::uint16_t>(std::atoi(args.Get("edns", "1232").c_str()));
+  resolver::RecursiveResolver resolver(
+      network, config, {*net::IpAddress::Parse("198.41.0.4")}, {});
+
+  auto result = resolver.Resolve(*qname, qtype, 1);
+  std::printf(";; %s after %d upstream queries%s\n",
+              std::string(ToString(result.rcode)).c_str(),
+              result.upstream_queries, result.from_cache ? " (cached)" : "");
+  for (const auto& record : result.records) {
+    std::printf("%s\n", record.ToString().c_str());
+  }
+  std::printf("\n;; upstream packets seen by the captured servers:\n");
+  for (const auto* server : {&root_server, &nl_server}) {
+    for (const auto& record : server->captured()) {
+      std::printf(";;   @%-5s %s %s %s -> %s%s\n",
+                  server->config().name.c_str(),
+                  std::string(ToString(record.transport)).c_str(),
+                  record.qname.ToString().c_str(),
+                  std::string(ToString(record.qtype)).c_str(),
+                  std::string(ToString(record.rcode)).c_str(),
+                  record.tc ? " +TC" : "");
+    }
+  }
+  return result.rcode == dns::Rcode::kNoError ? 0 : 1;
+}
+
+int CmdZoneCheck(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  std::ifstream file(args.positional[0]);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  dns::Name origin;
+  if (args.Has("origin")) {
+    auto parsed = dns::Name::Parse(args.Get("origin", "."));
+    if (!parsed) {
+      std::fprintf(stderr, "error: bad --origin\n");
+      return 1;
+    }
+    origin = *parsed;
+  }
+  auto parsed = zone::ParseMasterFile(buffer.str(), origin);
+  for (const auto& error : parsed.errors) {
+    std::fprintf(stderr, "%s:%zu: %s\n", args.positional[0].c_str(),
+                 error.line, error.message.c_str());
+  }
+  if (!parsed.zone) {
+    std::fprintf(stderr, "FATAL: zone did not load\n");
+    return 1;
+  }
+  std::printf("zone %s: %zu names, %zu records%s\n",
+              parsed.zone->apex().ToString().c_str(),
+              parsed.zone->name_count(), parsed.zone->record_count(),
+              parsed.zone->IsSigned() ? " (signed)" : "");
+  return parsed.errors.empty() ? 0 : 1;
+}
+
+int CmdZoneSample(const Args&) {
+  zone::ZoneBuildConfig config;
+  config.apex = *dns::Name::Parse("example");
+  config.nameservers = {{*dns::Name::Parse("ns1.example"),
+                         {*net::IpAddress::Parse("192.0.2.53"),
+                          *net::IpAddress::Parse("2001:db8::53")}}};
+  auto zone = zone::MakeZoneSkeleton(config);
+  zone::PopulateDelegations(zone, 5, "dom", 0.5,
+                            net::Ipv4Address(100, 70, 0, 0));
+  std::printf("%s", zone::ToMasterFile(zone).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = Args::Parse(argc, argv, 2);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "inspect") return CmdInspect(args);
+  if (command == "anonymize") return CmdAnonymize(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "export-pcap") return CmdExportPcap(args);
+  if (command == "import-pcap") return CmdImportPcap(args);
+  if (command == "dig") return CmdDig(args);
+  if (command == "zone-check") return CmdZoneCheck(args);
+  if (command == "zone-sample") return CmdZoneSample(args);
+  return Usage();
+}

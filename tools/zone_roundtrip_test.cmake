@@ -1,0 +1,14 @@
+# Runs `cdnstool zone-sample`, writes it to a file, and verifies
+# `cdnstool zone-check` accepts it.
+execute_process(COMMAND ${CDNSTOOL} zone-sample
+                OUTPUT_FILE ${CMAKE_CURRENT_BINARY_DIR}/sample.zone
+                RESULT_VARIABLE sample_result)
+if(NOT sample_result EQUAL 0)
+  message(FATAL_ERROR "zone-sample failed: ${sample_result}")
+endif()
+execute_process(COMMAND ${CDNSTOOL} zone-check
+                        ${CMAKE_CURRENT_BINARY_DIR}/sample.zone
+                RESULT_VARIABLE check_result OUTPUT_VARIABLE out)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "zone-check rejected the sample zone: ${out}")
+endif()
