@@ -44,6 +44,7 @@ void ReportRootAsRanking(const cloud::ScenarioResult& result) {
 }  // namespace
 
 int main() {
+  bench::BenchRecorder recorder("figure1_cloud_share");
   analysis::PrintBanner("Figure 1", "Clouds' query ratio per ccTLD and B-Root");
 
   for (cloud::Vantage vantage :
@@ -52,6 +53,7 @@ int main() {
                                "FACEBOOK", "CLOUDFLARE", "5 CPs", "paper~"});
     for (int year : {2018, 2019, 2020}) {
       auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      recorder.AddQueries(result.records.size());
       auto shares = analysis::ComputeCloudShares(result);
       std::vector<std::string> row = {std::to_string(year)};
       for (std::size_t i = 0; i + 1 < shares.size(); ++i) {

@@ -17,8 +17,9 @@ void ReportYear(cloud::Vantage vantage, int year) {
       analysis::LoadOrRun(bench::StandardConfig(vantage, year));
   analysis::TextTable table(
       {"provider", "A", "AAAA", "NS", "DS", "DNSKEY", "MX", "OTHER"});
+  auto mixes = analysis::ComputeRrTypeMixes(result);  // one fused pass
   for (cloud::Provider provider : cloud::MeasuredProviders()) {
-    auto mix = analysis::ComputeRrTypeMix(result, provider);
+    auto& mix = mixes[provider];
     table.AddRow({bench::ProviderName(provider), analysis::Percent(mix["A"]),
                   analysis::Percent(mix["AAAA"]), analysis::Percent(mix["NS"]),
                   analysis::Percent(mix["DS"]),

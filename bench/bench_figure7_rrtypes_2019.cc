@@ -16,8 +16,9 @@ int main() {
     auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, 2019));
     analysis::TextTable table(
         {"provider", "A", "AAAA", "NS", "DS", "DNSKEY", "MX", "OTHER"});
+    auto mixes = analysis::ComputeRrTypeMixes(result);  // one fused pass
     for (cloud::Provider provider : cloud::MeasuredProviders()) {
-      auto mix = analysis::ComputeRrTypeMix(result, provider);
+      auto& mix = mixes[provider];
       table.AddRow({bench::ProviderName(provider), analysis::Percent(mix["A"]),
                     analysis::Percent(mix["AAAA"]),
                     analysis::Percent(mix["NS"]), analysis::Percent(mix["DS"]),

@@ -11,6 +11,7 @@
 using namespace clouddns;
 
 int main() {
+  bench::BenchRecorder recorder("table3_datasets");
   analysis::PrintBanner("Table 3", "Evaluated datasets");
   analysis::TextTable table(
       {"dataset", "queries", "valid", "valid%", "paper-valid%", "resolvers",
@@ -20,6 +21,7 @@ int main() {
        {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
     for (int year : {2018, 2019, 2020}) {
       auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      recorder.AddQueries(result.records.size());
       auto stats = analysis::ComputeDatasetStats(result);
       auto paper_row = *analysis::paper::Table3(vantage, year);
       double paper_valid =

@@ -7,15 +7,21 @@
 using namespace clouddns;
 
 int main() {
+  bench::BenchRecorder recorder("table5_transport");
   analysis::PrintBanner("Table 5", "Query distribution per CP for ccTLDs");
   for (cloud::Vantage vantage : {cloud::Vantage::kNl, cloud::Vantage::kNz}) {
     analysis::TextTable table({"provider", "year", "IPv4", "(paper)", "IPv6",
                                "(paper)", "UDP", "(paper)", "TCP", "(paper)"});
+    // One fused pass per dataset covers every provider's mix.
+    std::map<int, std::map<cloud::Provider, analysis::TransportMix>> by_year;
+    for (int year : {2018, 2019, 2020}) {
+      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      recorder.AddQueries(result.records.size());
+      by_year[year] = analysis::ComputeTransportMixes(result);
+    }
     for (cloud::Provider provider : cloud::MeasuredProviders()) {
       for (int year : {2018, 2019, 2020}) {
-        auto result =
-            analysis::LoadOrRun(bench::StandardConfig(vantage, year));
-        auto mix = analysis::ComputeTransportMix(result, provider);
+        const auto& mix = by_year[year][provider];
         auto paper = *analysis::paper::Table5(provider, vantage, year);
         table.AddRow({bench::ProviderName(provider), std::to_string(year),
                       analysis::Ratio(mix.ipv4), analysis::Ratio(paper.ipv4),

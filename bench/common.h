@@ -6,6 +6,14 @@
 // statistics.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "analysis/calibration.h"
 #include "analysis/dataset_cache.h"
 #include "analysis/experiments.h"
@@ -13,6 +21,58 @@
 #include "cloud/scenario.h"
 
 namespace clouddns::bench {
+
+/// Records a bench run into BENCH_<name>.json (wall time, processed query
+/// volume, thread count, peak RSS) so speedups across commits can be
+/// compared machine-readably. Construct at the top of main(); the file is
+/// written when the recorder goes out of scope.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  /// Call once per dataset with the number of capture records analyzed.
+  void AddQueries(std::uint64_t n) { queries_ += n; }
+
+  ~BenchRecorder() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::size_t threads = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
+      char* end = nullptr;
+      unsigned long long value = std::strtoull(env, &end, 10);
+      if (end != env && value > 0) threads = static_cast<std::size_t>(value);
+    }
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is KiB on Linux.
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"name\": \"%s\",\n"
+                   "  \"wall_seconds\": %.3f,\n"
+                   "  \"queries\": %llu,\n"
+                   "  \"queries_per_second\": %.0f,\n"
+                   "  \"threads\": %zu,\n"
+                   "  \"peak_rss_mb\": %.1f\n"
+                   "}\n",
+                   name_.c_str(), wall,
+                   static_cast<unsigned long long>(queries_),
+                   wall > 0 ? static_cast<double>(queries_) / wall : 0.0,
+                   threads, static_cast<double>(usage.ru_maxrss) / 1024.0);
+      std::fclose(f);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t queries_ = 0;
+};
 
 inline cloud::ScenarioConfig StandardConfig(cloud::Vantage vantage, int year) {
   cloud::ScenarioConfig config;

@@ -1,0 +1,32 @@
+// Sidecar persistence for the non-capture half of a ScenarioResult.
+//
+// A dataset-cache hit used to re-run the whole scenario with zero client
+// queries just to rebuild deterministic context — zones, the AS database,
+// PTR records — which cost ~0.6s per dataset and dominated every warm
+// bench. The sidecar stores that context (everything in ScenarioResult
+// except `records` and `config`) next to the capture file, so a warm load
+// is a pure read: capture + context, no simulation at all.
+//
+// The format is a version-tagged text file; loading a file with a
+// different version or any malformed section fails cleanly, and callers
+// fall back to the dry-rebuild path (which re-writes the sidecar).
+#pragma once
+
+#include <string>
+
+#include "cloud/scenario.h"
+
+namespace clouddns::analysis {
+
+/// Writes everything but `records`/`config` to `path`. Returns false on
+/// I/O failure (callers should treat the sidecar as best-effort).
+bool SaveScenarioContext(const std::string& path,
+                         const cloud::ScenarioResult& result);
+
+/// Restores the context fields into `result`, leaving `records` and
+/// `config` untouched. Returns false (with `result` unspecified) when the
+/// file is missing, version-mismatched, or malformed.
+bool LoadScenarioContext(const std::string& path,
+                         cloud::ScenarioResult& result);
+
+}  // namespace clouddns::analysis

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "analysis/context_cache.h"
 #include "capture/columnar.h"
 
 namespace clouddns::analysis {
@@ -32,9 +33,14 @@ std::uint64_t EffectiveQueryBudget(std::uint64_t configured) {
 
 std::string CacheKey(const cloud::ScenarioConfig& config) {
   // Bump when simulator behaviour changes so stale captures are ignored.
-  constexpr std::uint64_t kSimulatorVersion = 9;
+  // v10: sharded parallel scenario engine (per-shard workload substreams).
+  constexpr std::uint64_t kSimulatorVersion = 10;
   std::uint64_t hash = 0x434c4f5544444e53ull;  // "CLOUDDNS"
   hash = MixField(hash, kSimulatorVersion);
+  // The shard count determines the traffic realization; the thread count
+  // deliberately does NOT (any `threads` replays the same simulation), so
+  // `config.threads` must never reach this key.
+  hash = MixField(hash, config.shards);
   hash = MixField(hash, static_cast<std::uint64_t>(config.vantage));
   hash = MixField(hash, static_cast<std::uint64_t>(config.year));
   hash = MixField(hash, config.client_queries);
@@ -72,13 +78,25 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
   const std::string path =
       cache_dir + "/" + CacheKey(config) + ".cdns";
 
+  const std::string context_path =
+      cache_dir + "/" + CacheKey(config) + ".ctx";
+
   if (auto cached = capture::ReadCaptureFile(path)) {
-    // Rebuild the deterministic context (zones, AS database, PTR records)
-    // without streaming traffic, then splice in the cached capture.
+    // Fast path: the context sidecar restores the AS database, PTR
+    // records and server metadata directly — no simulation at all.
+    cloud::ScenarioResult result;
+    if (LoadScenarioContext(context_path, result)) {
+      result.config = config;
+      result.records = std::move(*cached);
+      return result;
+    }
+    // No (or stale) sidecar: rebuild the deterministic context by running
+    // a zero-query scenario, then persist it so the next load skips this.
     cloud::ScenarioConfig dry = config;
     dry.client_queries = 0;
-    cloud::ScenarioResult result = cloud::RunScenario(dry);
+    result = cloud::RunScenario(dry);
     result.config = config;
+    SaveScenarioContext(context_path, result);
     result.records = std::move(*cached);
     return result;
   }
@@ -86,6 +104,8 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
   cloud::ScenarioResult result = cloud::RunScenario(config);
   if (!capture::WriteCaptureFile(path, result.records)) {
     std::remove(path.c_str());
+  } else {
+    SaveScenarioContext(context_path, result);
   }
   return result;
 }

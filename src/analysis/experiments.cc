@@ -1,6 +1,7 @@
 #include "analysis/experiments.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "analysis/rdns.h"
 #include "entrada/cdf.h"
@@ -9,8 +10,8 @@
 namespace clouddns::analysis {
 namespace {
 
-entrada::KeyFn KeyProviderless() {
-  return entrada::KeySrcAddress();
+constexpr std::uint16_t TagOf(cloud::Provider provider) {
+  return static_cast<std::uint16_t>(provider);
 }
 
 }  // namespace
@@ -28,32 +29,71 @@ entrada::Filter FilterProvider(const cloud::ScenarioResult& result,
   };
 }
 
+entrada::TagFn ProviderTag(const cloud::ScenarioResult& result) {
+  std::unordered_map<net::Asn, std::uint16_t> by_asn;
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    for (net::Asn asn : cloud::NetworkOf(provider).ases) {
+      by_asn.emplace(asn, TagOf(provider));
+    }
+  }
+  return [&asdb = result.asdb,
+          by_asn = std::move(by_asn)](const capture::CaptureRecord& record) {
+    auto asn = asdb.OriginAs(record.src);
+    if (!asn) return TagOf(cloud::Provider::kOther);
+    auto it = by_asn.find(*asn);
+    return it == by_asn.end() ? TagOf(cloud::Provider::kOther) : it->second;
+  };
+}
+
+entrada::TagNamer ProviderTagNamer() {
+  return [](std::uint16_t tag) {
+    return std::string(ToString(static_cast<cloud::Provider>(tag)));
+  };
+}
+
 DatasetStats ComputeDatasetStats(const cloud::ScenarioResult& result) {
+  // One fused pass instead of five scans (valid count, two exact distinct
+  // passes, two HLL passes).
+  entrada::AnalysisPlan plan;
+  plan.SetAsDatabase(result.asdb);
+  auto valid = plan.Count(entrada::FilterSpec::Valid());
+  auto resolvers = plan.Distinct(entrada::FilterSpec::All(),
+                                 entrada::KeySpec::SrcAddress());
+  auto resolvers_hll = plan.Sketch(entrada::FilterSpec::All(),
+                                   entrada::KeySpec::SrcAddress());
+  auto ases = plan.Distinct(entrada::FilterSpec::All(),
+                            entrada::KeySpec::SrcAs());
+  auto ases_hll = plan.Sketch(entrada::FilterSpec::All(),
+                              entrada::KeySpec::SrcAs());
+  plan.Execute(result.records);
+
   DatasetStats stats;
   stats.queries_total = result.records.size();
-  stats.queries_valid =
-      entrada::CountIf(result.records, entrada::FilterValid());
-  stats.resolvers_exact =
-      entrada::DistinctExact(result.records, KeyProviderless());
-  stats.resolvers_hll =
-      entrada::DistinctSketch(result.records, KeyProviderless()).Estimate();
-  auto as_key = entrada::KeySrcAs(result.asdb);
-  stats.ases_exact = entrada::DistinctExact(result.records, as_key);
-  stats.ases_hll =
-      entrada::DistinctSketch(result.records, as_key).Estimate();
+  stats.queries_valid = plan.CountResult(valid);
+  stats.resolvers_exact = plan.DistinctResult(resolvers);
+  stats.resolvers_hll = plan.SketchResult(resolvers_hll).Estimate();
+  stats.ases_exact = plan.DistinctResult(ases);
+  stats.ases_hll = plan.SketchResult(ases_hll).Estimate();
   return stats;
 }
 
 std::vector<ProviderShare> ComputeCloudShares(
     const cloud::ScenarioResult& result) {
+  // One tag-grouped pass replaces a CountIf scan per provider.
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  auto by_provider =
+      plan.GroupBy(entrada::FilterSpec::All(), entrada::KeySpec::Tag());
+  plan.Execute(result.records);
+  const entrada::Aggregation& agg = plan.GroupResult(by_provider);
+
   std::vector<ProviderShare> shares;
   const double total = static_cast<double>(result.records.size());
   std::uint64_t cp_sum = 0;
   for (cloud::Provider provider : cloud::MeasuredProviders()) {
     ProviderShare share;
     share.provider = provider;
-    share.queries =
-        entrada::CountIf(result.records, FilterProvider(result, provider));
+    share.queries = agg.Of(std::string(ToString(provider)));
     share.share = total == 0 ? 0 : static_cast<double>(share.queries) / total;
     cp_sum += share.queries;
     shares.push_back(share);
@@ -67,25 +107,35 @@ std::vector<ProviderShare> ComputeCloudShares(
 }
 
 GoogleSplit ComputeGoogleSplit(const cloud::ScenarioResult& result) {
-  GoogleSplit split;
-  auto google = FilterProvider(result, cloud::Provider::kGoogle);
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
   auto is_public = [&result](const capture::CaptureRecord& record) {
     return result.google_public.Lookup(record.src).value_or(false);
   };
-  split.queries_total = entrada::CountIf(result.records, google);
-  split.queries_public =
-      entrada::CountIf(result.records, entrada::And(google, is_public));
-  split.resolvers_total =
-      entrada::DistinctExact(result.records, KeyProviderless(), google);
-  split.resolvers_public = entrada::DistinctExact(
-      result.records, KeyProviderless(), entrada::And(google, is_public));
+  entrada::FilterSpec google =
+      entrada::FilterSpec::Tagged(TagOf(cloud::Provider::kGoogle));
+  entrada::FilterSpec google_public = google;
+  google_public.custom = is_public;
+
+  auto queries = plan.Count(google);
+  auto queries_public = plan.Count(google_public);
+  auto resolvers = plan.Distinct(google, entrada::KeySpec::SrcAddress());
+  auto resolvers_public =
+      plan.Distinct(google_public, entrada::KeySpec::SrcAddress());
+  plan.Execute(result.records);
+
+  GoogleSplit split;
+  split.queries_total = plan.CountResult(queries);
+  split.queries_public = plan.CountResult(queries_public);
+  split.resolvers_total = plan.DistinctResult(resolvers);
+  split.resolvers_public = plan.DistinctResult(resolvers_public);
   return split;
 }
 
-std::map<std::string, double> ComputeRrTypeMix(
-    const cloud::ScenarioResult& result, cloud::Provider provider) {
-  auto agg = entrada::CountBy(result.records, entrada::KeyQtype(),
-                              FilterProvider(result, provider));
+namespace {
+
+std::map<std::string, double> MixFromAggregation(
+    const entrada::Aggregation& agg) {
   std::map<std::string, double> mix;
   static const char* kCategories[] = {"A", "AAAA", "NS", "DS", "DNSKEY", "MX"};
   std::uint64_t categorized = 0;
@@ -104,12 +154,44 @@ std::map<std::string, double> ComputeRrTypeMix(
   return mix;
 }
 
+}  // namespace
+
+std::map<std::string, double> ComputeRrTypeMix(
+    const cloud::ScenarioResult& result, cloud::Provider provider) {
+  auto agg = entrada::CountBy(result.records, entrada::KeyQtype(),
+                              FilterProvider(result, provider));
+  return MixFromAggregation(agg);
+}
+
+std::map<cloud::Provider, std::map<std::string, double>> ComputeRrTypeMixes(
+    const cloud::ScenarioResult& result) {
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  std::map<cloud::Provider, entrada::AnalysisPlan::Handle> handles;
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    handles[provider] = plan.GroupBy(
+        entrada::FilterSpec::Tagged(TagOf(provider)),
+        entrada::KeySpec::Qtype());
+  }
+  plan.Execute(result.records);
+
+  std::map<cloud::Provider, std::map<std::string, double>> mixes;
+  for (const auto& [provider, handle] : handles) {
+    mixes[provider] = MixFromAggregation(plan.GroupResult(handle));
+  }
+  return mixes;
+}
+
 std::vector<MonthlyQtypeRow> ComputeMonthlyQtypes(
     const cloud::ScenarioResult& result, cloud::Provider provider) {
-  auto months = entrada::CountByMonth(result.records, entrada::KeyQtype(),
-                                      FilterProvider(result, provider));
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  auto months_handle = plan.GroupByMonth(
+      entrada::FilterSpec::Tagged(TagOf(provider)), entrada::KeySpec::Qtype());
+  plan.Execute(result.records);
+
   std::vector<MonthlyQtypeRow> rows;
-  for (const auto& [month, agg] : months) {
+  for (const auto& [month, agg] : plan.MonthResult(months_handle)) {
     MonthlyQtypeRow row;
     row.month = month;
     row.total = agg.total;
@@ -130,6 +212,34 @@ double ComputeJunkRatio(const cloud::ScenarioResult& result,
   std::uint64_t junk = entrada::CountIf(
       result.records, entrada::And(filter, entrada::FilterJunk()));
   return total == 0 ? 0 : static_cast<double>(junk) / static_cast<double>(total);
+}
+
+JunkRatios ComputeJunkRatios(const cloud::ScenarioResult& result) {
+  // Two tag-grouped aggregates in one pass replace 2 scans per provider
+  // plus 2 for the overall ratio.
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  auto all = plan.GroupBy(entrada::FilterSpec::All(), entrada::KeySpec::Tag());
+  auto junk =
+      plan.GroupBy(entrada::FilterSpec::Junk(), entrada::KeySpec::Tag());
+  plan.Execute(result.records);
+  const entrada::Aggregation& totals = plan.GroupResult(all);
+  const entrada::Aggregation& junks = plan.GroupResult(junk);
+
+  JunkRatios ratios;
+  ratios.overall = totals.total == 0
+                       ? 0
+                       : static_cast<double>(junks.total) /
+                             static_cast<double>(totals.total);
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    std::string key(ToString(provider));
+    std::uint64_t total = totals.Of(key);
+    ratios.per_provider[provider] =
+        total == 0 ? 0
+                   : static_cast<double>(junks.Of(key)) /
+                         static_cast<double>(total);
+  }
+  return ratios;
 }
 
 TransportMix ComputeTransportMix(const cloud::ScenarioResult& result,
@@ -159,17 +269,54 @@ TransportMix ComputeTransportMix(const cloud::ScenarioResult& result,
   return mix;
 }
 
+std::map<cloud::Provider, TransportMix> ComputeTransportMixes(
+    const cloud::ScenarioResult& result) {
+  // Four tag-grouped aggregates in one pass replace a full scan per
+  // provider.
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  auto v4 = plan.GroupBy(entrada::FilterSpec::V4(), entrada::KeySpec::Tag());
+  auto v6 = plan.GroupBy(entrada::FilterSpec::V6(), entrada::KeySpec::Tag());
+  auto udp = plan.GroupBy(entrada::FilterSpec::Udp(), entrada::KeySpec::Tag());
+  auto tcp = plan.GroupBy(entrada::FilterSpec::Tcp(), entrada::KeySpec::Tag());
+  plan.Execute(result.records);
+
+  std::map<cloud::Provider, TransportMix> mixes;
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    std::string key(ToString(provider));
+    TransportMix mix;
+    std::uint64_t n_v4 = plan.GroupResult(v4).Of(key);
+    std::uint64_t n_v6 = plan.GroupResult(v6).Of(key);
+    std::uint64_t n_udp = plan.GroupResult(udp).Of(key);
+    std::uint64_t n_tcp = plan.GroupResult(tcp).Of(key);
+    mix.total = n_v4 + n_v6;
+    if (mix.total > 0) {
+      double total = static_cast<double>(mix.total);
+      mix.ipv4 = static_cast<double>(n_v4) / total;
+      mix.ipv6 = static_cast<double>(n_v6) / total;
+      mix.udp = static_cast<double>(n_udp) / total;
+      mix.tcp = static_cast<double>(n_tcp) / total;
+    }
+    mixes[provider] = mix;
+  }
+  return mixes;
+}
+
 ResolverFamilyCount ComputeResolverFamilies(const cloud::ScenarioResult& result,
                                             cloud::Provider provider) {
+  // One pass for both families instead of two filtered distinct scans.
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  entrada::FilterSpec tagged = entrada::FilterSpec::Tagged(TagOf(provider));
+  entrada::FilterSpec tagged_v4 = tagged;
+  tagged_v4.kind = entrada::FilterSpec::Kind::kV4;
+  auto total = plan.Distinct(tagged, entrada::KeySpec::SrcAddress());
+  auto v4 = plan.Distinct(tagged_v4, entrada::KeySpec::SrcAddress());
+  plan.Execute(result.records);
+
   ResolverFamilyCount count;
-  auto filter = FilterProvider(result, provider);
-  count.total = entrada::DistinctExact(result.records, KeyProviderless(),
-                                       filter);
-  count.v4 = entrada::DistinctExact(
-      result.records, KeyProviderless(),
-      entrada::And(filter, [](const capture::CaptureRecord& r) {
-        return r.src.is_v4();
-      }));
+  count.total = plan.DistinctResult(total);
+  count.v4 = plan.DistinctResult(v4);
   count.v6 = count.total - count.v4;
   return count;
 }
@@ -254,32 +401,38 @@ std::vector<FacebookSiteStats> ComputeFacebookSites(
 
 EdnsStats ComputeEdnsStats(const cloud::ScenarioResult& result,
                            cloud::Provider provider) {
-  EdnsStats stats;
-  auto filter = FilterProvider(result, provider);
-  auto udp_with_edns = entrada::And(
-      filter, [](const capture::CaptureRecord& r) {
-        return r.transport == dns::Transport::kUdp && r.has_edns;
-      });
-  entrada::Cdf cdf = entrada::CollectCdf(
-      result.records,
+  // CDF + UDP + truncation aggregates in one pass instead of three scans.
+  entrada::AnalysisPlan plan;
+  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  entrada::FilterSpec udp_tagged =
+      entrada::FilterSpec::Tagged(TagOf(provider));
+  udp_tagged.kind = entrada::FilterSpec::Kind::kUdp;
+  entrada::FilterSpec udp_with_edns = udp_tagged;
+  udp_with_edns.custom = [](const capture::CaptureRecord& r) {
+    return r.has_edns;
+  };
+  entrada::FilterSpec udp_truncated = udp_tagged;
+  udp_truncated.custom = [](const capture::CaptureRecord& r) { return r.tc; };
+
+  auto sizes = plan.Collect(
+      udp_with_edns,
       [](const capture::CaptureRecord& r) -> std::optional<double> {
         return static_cast<double>(r.edns_udp_size);
-      },
-      udp_with_edns);
+      });
+  auto udp = plan.Count(udp_tagged);
+  auto truncated = plan.Count(udp_truncated);
+  plan.Execute(result.records);
+
+  EdnsStats stats;
+  entrada::Cdf& cdf = plan.CdfResult(sizes);
   stats.fraction_at_512 = cdf.FractionAtOrBelow(512);
   stats.fraction_up_to_1232 = cdf.FractionAtOrBelow(1232);
   stats.cdf = cdf.Curve();
-
-  std::uint64_t udp = entrada::CountIf(
-      result.records, entrada::And(filter, entrada::FilterTransport(
-                                               dns::Transport::kUdp)));
-  std::uint64_t truncated = entrada::CountIf(
-      result.records,
-      entrada::And(filter, [](const capture::CaptureRecord& r) {
-        return r.transport == dns::Transport::kUdp && r.tc;
-      }));
+  std::uint64_t udp_count = plan.CountResult(udp);
   stats.truncated_udp =
-      udp == 0 ? 0 : static_cast<double>(truncated) / static_cast<double>(udp);
+      udp_count == 0 ? 0
+                     : static_cast<double>(plan.CountResult(truncated)) /
+                           static_cast<double>(udp_count);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 
 #include "cloud/scenario.h"
 #include "entrada/analytics.h"
+#include "entrada/plan.h"
 
 namespace clouddns::analysis {
 
@@ -20,6 +21,14 @@ namespace clouddns::analysis {
 /// Filter for one provider's records.
 [[nodiscard]] entrada::Filter FilterProvider(const cloud::ScenarioResult& result,
                                              cloud::Provider provider);
+
+/// Per-record provider tag for AnalysisPlan: the record's source AS mapped
+/// through Table 1 (value = static_cast of cloud::Provider). Flattens the
+/// AS->provider table once instead of walking it per record. The result
+/// must outlive the returned functor.
+[[nodiscard]] entrada::TagFn ProviderTag(const cloud::ScenarioResult& result);
+/// Renders provider tags for report keys ("GOOGLE", ...).
+[[nodiscard]] entrada::TagNamer ProviderTagNamer();
 
 // ---- Table 3: dataset totals ----
 struct DatasetStats {
@@ -84,6 +93,14 @@ struct MonthlyQtypeRow {
 [[nodiscard]] double ComputeJunkRatio(const cloud::ScenarioResult& result,
                                       std::optional<cloud::Provider> provider);
 
+/// Every provider's junk ratio plus the dataset-wide ratio, from ONE
+/// fused pass over the capture (the Fig. 4 driver).
+struct JunkRatios {
+  double overall = 0;
+  std::map<cloud::Provider, double> per_provider;
+};
+[[nodiscard]] JunkRatios ComputeJunkRatios(const cloud::ScenarioResult& result);
+
 // ---- Table 5: transport/IP-version distribution per provider ----
 struct TransportMix {
   double ipv4 = 0, ipv6 = 0, udp = 0, tcp = 0;
@@ -91,6 +108,16 @@ struct TransportMix {
 };
 [[nodiscard]] TransportMix ComputeTransportMix(
     const cloud::ScenarioResult& result, cloud::Provider provider);
+
+/// Every measured provider's transport mix from ONE fused pass (the
+/// Table 5 driver; the per-provider function above re-scans per call).
+[[nodiscard]] std::map<cloud::Provider, TransportMix> ComputeTransportMixes(
+    const cloud::ScenarioResult& result);
+
+/// Every measured provider's RR-type mix from ONE fused pass (the
+/// Fig. 2 / Fig. 7 driver).
+[[nodiscard]] std::map<cloud::Provider, std::map<std::string, double>>
+ComputeRrTypeMixes(const cloud::ScenarioResult& result);
 
 // ---- Table 6: resolver source counts per family ----
 struct ResolverFamilyCount {

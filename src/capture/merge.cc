@@ -1,0 +1,58 @@
+#include "capture/merge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace clouddns::capture {
+
+void AppendBuffer(CaptureBuffer& dst, CaptureBuffer&& src) {
+  if (dst.empty()) {
+    dst = std::move(src);
+    return;
+  }
+  dst.reserve(dst.size() + src.size());
+  std::move(src.begin(), src.end(), std::back_inserter(dst));
+  src.clear();
+}
+
+void SortByTimeStable(CaptureBuffer& buffer) {
+  std::stable_sort(buffer.begin(), buffer.end(),
+                   [](const CaptureRecord& a, const CaptureRecord& b) {
+                     return a.time_us < b.time_us;
+                   });
+}
+
+CaptureBuffer MergeShards(std::vector<CaptureBuffer>&& shards) {
+  // K-way merge over cursors. A heap entry is (time, shard); on ties the
+  // lower shard index wins, matching the documented determinism contract.
+  struct Cursor {
+    sim::TimeUs time;
+    std::size_t shard;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    return a.time != b.time ? a.time > b.time : a.shard > b.shard;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+
+  std::size_t total = 0;
+  std::vector<std::size_t> next(shards.size(), 0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    total += shards[s].size();
+    if (!shards[s].empty()) heap.push({shards[s][0].time_us, s});
+  }
+
+  CaptureBuffer merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    auto [time, s] = heap.top();
+    heap.pop();
+    merged.push_back(std::move(shards[s][next[s]]));
+    if (++next[s] < shards[s].size()) {
+      heap.push({shards[s][next[s]].time_us, s});
+    }
+  }
+  for (auto& shard : shards) CaptureBuffer().swap(shard);
+  return merged;
+}
+
+}  // namespace clouddns::capture

@@ -1,0 +1,28 @@
+// Deterministic merging of capture streams. The parallel scenario engine
+// gives every simulation shard a private CaptureBuffer; this module joins
+// them into the single time-ordered stream the analytics layer consumes.
+// The merge order is a contract: records sort by arrival time, with ties
+// broken by shard index (then by within-shard order), so the merged buffer
+// is byte-identical no matter how many threads executed the shards.
+#pragma once
+
+#include <vector>
+
+#include "capture/record.h"
+
+namespace clouddns::capture {
+
+/// Appends `src` onto `dst`, destroying `src`. Moves elements (records own
+/// heap-allocated names) and reserves up front.
+void AppendBuffer(CaptureBuffer& dst, CaptureBuffer&& src);
+
+/// Sorts one buffer by time, keeping the existing relative order of equal
+/// timestamps (the within-shard tiebreak of the merge contract).
+void SortByTimeStable(CaptureBuffer& buffer);
+
+/// Merges per-shard buffers (each already time-ordered) into one stream.
+/// Ties across shards resolve to the lower shard index; the result is
+/// independent of thread scheduling. Consumes the inputs.
+[[nodiscard]] CaptureBuffer MergeShards(std::vector<CaptureBuffer>&& shards);
+
+}  // namespace clouddns::capture

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 
+#include "capture/merge.h"
 #include "cloud/fleet.h"
 #include "sim/diurnal.h"
 #include "cloud/workload.h"
@@ -34,11 +37,39 @@ sim::TimeUs DayStart(int year, unsigned month, unsigned day) {
   return sim::TimeFromCivil({year, month, day});
 }
 
-struct AuthService {
-  std::unique_ptr<server::AuthServer> server;
-  std::vector<net::IpAddress> v4;
-  std::vector<net::IpAddress> v6;
+std::size_t EffectiveThreads(std::size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Blueprint of one authoritative service: its config, the zones it
+/// serves, and where it is anycast. Every shard instantiates its own
+/// AuthServer from this, so mutable server state (RRL buckets, capture
+/// buffer) stays shard-local while the zone data is shared read-only.
+struct ServiceSpec {
+  server::AuthServerConfig config;
+  std::vector<std::shared_ptr<const zone::Zone>> zones;
+  std::vector<std::pair<net::IpAddress, sim::SiteId>> registrations;
   ServerMeta meta;
+};
+
+/// Everything one simulation shard mutates. Shards never touch each
+/// other's state, so the schedule loop runs lock-free.
+struct ShardWorld {
+  std::unique_ptr<sim::Network> network;
+  std::vector<std::unique_ptr<server::AuthServer>> servers;
+  std::unique_ptr<server::LeafAuthService> leaf;
+  /// One generator per fleet, seeded from SubstreamSeed(seed, shard).
+  std::vector<std::unique_ptr<WorkloadGenerator>> workloads;
+  capture::CaptureBuffer records;
+  std::uint64_t issued = 0;
+  std::vector<std::uint64_t> issued_per_fleet;
 };
 
 /// Everything a scenario builds; kept alive for the duration of Run().
@@ -50,28 +81,34 @@ class ScenarioRuntime {
  private:
   void BuildSites();
   void BuildZonesAndServers();
+  void BuildShardWorlds();
   void BuildFleets();
+  void PartitionEngines();
+  void RunShard(std::size_t shard);
 
   std::shared_ptr<const zone::Zone> BuildRootZone();
 
   ScenarioConfig config_;
   sim::TimeUs start_ = 0;
   sim::TimeUs end_ = 0;
+  std::size_t shard_count_ = 1;
 
   sim::LatencyModel latency_;
-  std::unique_ptr<sim::Network> network_;
   std::vector<sim::SiteId> city_sites_;
 
   std::vector<std::shared_ptr<const zone::Zone>> zones_;
-  std::vector<AuthService> services_;
-  std::unique_ptr<server::LeafAuthService> leaf_;
+  std::vector<ServiceSpec> service_specs_;
 
   net::AsDatabase asdb_;
   net::PrefixMap<bool> google_public_;
 
   std::vector<Fleet> fleets_;
-  std::vector<std::unique_ptr<WorkloadGenerator>> fleet_workloads_;
+  std::vector<WorkloadSpec> fleet_specs_;
   std::vector<double> fleet_weights_;
+  /// engine_owner_[fleet][engine] -> shard that executes its queries.
+  std::vector<std::vector<std::size_t>> engine_owner_;
+
+  std::vector<ShardWorld> shards_;
 
   std::size_t zone_domain_count_ = 0;
   std::map<std::string, std::size_t> zone_domains_by_tld_;
@@ -87,6 +124,7 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
   start_ = config_.window_start.value_or(
       WeekStart(config_.vantage, config_.year));
   end_ = config_.window_end.value_or(start_ + WindowLength(config_.vantage));
+  shard_count_ = std::max<std::size_t>(1, config_.shards);
 }
 
 void ScenarioRuntime::BuildSites() {
@@ -94,7 +132,6 @@ void ScenarioRuntime::BuildSites() {
     city_sites_.push_back(
         latency_.AddSite({city.label, city.x, city.y, 1.0, 0.0}));
   }
-  network_ = std::make_unique<sim::Network>(latency_);
 }
 
 std::shared_ptr<const zone::Zone> ScenarioRuntime::BuildRootZone() {
@@ -178,17 +215,13 @@ void ScenarioRuntime::BuildZonesAndServers() {
 
   const int yi = config_.year - 2018;
   for (std::size_t letter = 0; letter < letters; ++letter) {
-    AuthService service;
-    server::AuthServerConfig server_config;
-    server_config.server_id = 100 + static_cast<std::uint32_t>(letter);
-    server_config.name =
+    ServiceSpec spec;
+    spec.config.server_id = 100 + static_cast<std::uint32_t>(letter);
+    spec.config.name =
         std::string(1, static_cast<char>('a' + letter)) + "-root";
     bool captured = config_.vantage == Vantage::kRoot && letter == 1;
-    server_config.capture_enabled = captured;
-    service.server = std::make_unique<server::AuthServer>(server_config);
-    service.server->Serve(root_zone);
-    service.v4 = {root_v4_[letter]};
-    service.v6 = {root_v6_[letter]};
+    spec.config.capture_enabled = captured;
+    spec.zones = {root_zone};
 
     // Root letters are heavily anycast; B grows its footprint over the
     // study years (§3), which widens its catchment relative to peers.
@@ -197,12 +230,12 @@ void ScenarioRuntime::BuildZonesAndServers() {
     for (std::size_t s = 0; s < site_count; ++s) {
       sim::SiteId site =
           city_sites_[(letter * 3 + s * 5) % city_sites_.size()];
-      network_->RegisterServer(service.v4[0], site, *service.server);
-      network_->RegisterServer(service.v6[0], site, *service.server);
+      spec.registrations.emplace_back(root_v4_[letter], site);
+      spec.registrations.emplace_back(root_v6_[letter], site);
     }
-    service.meta = {server_config.server_id, server_config.name, captured,
-                    true, site_count};
-    services_.push_back(std::move(service));
+    spec.meta = {spec.config.server_id, spec.config.name, captured,
+                 true, site_count};
+    service_specs_.push_back(std::move(spec));
   }
 
   // --- ccTLD zones and servers.
@@ -268,17 +301,15 @@ void ScenarioRuntime::BuildZonesAndServers() {
         (config_.vantage == Vantage::kNl && tld == "nl") ||
         (config_.vantage == Vantage::kNz && tld == "nz");
     for (std::size_t s = 0; s < ns_total; ++s) {
-      AuthService service;
-      server::AuthServerConfig server_config;
-      server_config.server_id = static_cast<std::uint32_t>(s);
-      server_config.name = tld + "-" +
-                           std::string(1, static_cast<char>('A' + s));
-      server_config.capture_enabled = vantage_match && s < ns_captured;
-      server_config.rrl.enabled = !config_.rrl_override_off;
-      server_config.rrl.responses_per_second = 400;
-      server_config.rrl.burst = 1200;
-      service.server = std::make_unique<server::AuthServer>(server_config);
-      for (const auto& zone : operator_zones) service.server->Serve(zone);
+      ServiceSpec spec;
+      spec.config.server_id = static_cast<std::uint32_t>(s);
+      spec.config.name = tld + "-" +
+                         std::string(1, static_cast<char>('A' + s));
+      spec.config.capture_enabled = vantage_match && s < ns_captured;
+      spec.config.rrl.enabled = !config_.rrl_override_off;
+      spec.config.rrl.responses_per_second = 400;
+      spec.config.rrl.burst = 1200;
+      spec.zones = operator_zones;
 
       // The ccTLD NS sets are broadly anycast ("distributed across a
       // dozen global locations", 2.1.1); a wide footprint also keeps the
@@ -289,16 +320,12 @@ void ScenarioRuntime::BuildZonesAndServers() {
         sim::SiteId site =
             city_sites_[(s * 7 + at * 3 + (tld == "nz" ? 13 : 0)) %
                         city_sites_.size()];
-        network_->RegisterServer(ns_set[s].addresses[0], site,
-                                 *service.server);
-        network_->RegisterServer(ns_set[s].addresses[1], site,
-                                 *service.server);
+        spec.registrations.emplace_back(ns_set[s].addresses[0], site);
+        spec.registrations.emplace_back(ns_set[s].addresses[1], site);
       }
-      service.v4 = {ns_set[s].addresses[0]};
-      service.v6 = {ns_set[s].addresses[1]};
-      service.meta = {server_config.server_id, server_config.name,
-                      server_config.capture_enabled, anycast, site_count};
-      services_.push_back(std::move(service));
+      spec.meta = {spec.config.server_id, spec.config.name,
+                   spec.config.capture_enabled, anycast, site_count};
+      service_specs_.push_back(std::move(spec));
     }
   };
 
@@ -325,9 +352,24 @@ void ScenarioRuntime::BuildZonesAndServers() {
   if (config_.inject_cyclic_event || config_.vantage == Vantage::kNz) {
     cyclic_domains_ = {N("cyca.nz"), N("cycb.nz")};
   }
+}
 
-  leaf_ = std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
-  network_->SetDefaultRoute(city_sites_[4], *leaf_);
+void ScenarioRuntime::BuildShardWorlds() {
+  shards_.resize(shard_count_);
+  for (ShardWorld& shard : shards_) {
+    shard.network = std::make_unique<sim::Network>(latency_);
+    for (const ServiceSpec& spec : service_specs_) {
+      auto server = std::make_unique<server::AuthServer>(spec.config);
+      for (const auto& zone : spec.zones) server->Serve(zone);
+      for (const auto& [address, site] : spec.registrations) {
+        shard.network->RegisterServer(address, site, *server);
+      }
+      shard.servers.push_back(std::move(server));
+    }
+    shard.leaf =
+        std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
+    shard.network->SetDefaultRoute(city_sites_[4], *shard.leaf);
+  }
 }
 
 void ScenarioRuntime::BuildFleets() {
@@ -338,7 +380,9 @@ void ScenarioRuntime::BuildFleets() {
 
   FleetBuildContext ctx;
   ctx.latency = &latency_;
-  ctx.network = network_.get();
+  // Engines are constructed against shard 0's network, then re-attached
+  // to their owner shard's plane in PartitionEngines().
+  ctx.network = shards_[0].network.get();
   // Root hints: the captured study uses the full 13-letter set.
   ctx.root_v4 = root_v4_;
   ctx.root_v6 = root_v6_;
@@ -435,26 +479,47 @@ void ScenarioRuntime::BuildFleets() {
               : ProfileFor(fleet.provider, config_.year).root_junk_multiplier;
       spec.chromium_fraction = base_chromium * multiplier;
     }
-    fleet_workloads_.push_back(std::make_unique<WorkloadGenerator>(
-        spec, config_.seed ^ (0xabcdull + fleet_workloads_.size())));
+    fleet_specs_.push_back(std::move(spec));
     fleet_weights_.push_back(fleet.client_weight);
   }
 }
 
-ScenarioResult ScenarioRuntime::Run() {
-  BuildSites();
-  BuildZonesAndServers();
-  BuildFleets();
+void ScenarioRuntime::PartitionEngines() {
+  // Round-robin over a global engine counter balances engine counts per
+  // shard even when individual fleets are small. The owner map depends
+  // only on the build (never on threads), so each engine's cache sees its
+  // queries in the same order for every thread count.
+  std::size_t counter = 0;
+  engine_owner_.resize(fleets_.size());
+  for (std::size_t f = 0; f < fleets_.size(); ++f) {
+    engine_owner_[f].resize(fleets_[f].engines.size());
+    for (std::size_t e = 0; e < fleets_[f].engines.size(); ++e) {
+      std::size_t owner = counter++ % shard_count_;
+      engine_owner_[f][e] = owner;
+      fleets_[f].engines[e]->AttachNetwork(*shards_[owner].network);
+    }
+  }
 
-  ScenarioResult result;
-  result.config = config_;
-  result.window_start = start_;
-  result.window_end = end_;
-  result.zone_domain_count = zone_domain_count_;
-  result.zone_domains_by_tld = zone_domains_by_tld_;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    ShardWorld& shard = shards_[s];
+    shard.issued_per_fleet.assign(fleets_.size(), 0);
+    for (std::size_t f = 0; f < fleet_specs_.size(); ++f) {
+      shard.workloads.push_back(std::make_unique<WorkloadGenerator>(
+          fleet_specs_[f],
+          sim::SubstreamSeed(config_.seed ^ (0xabcdull + f), s)));
+    }
+  }
+}
 
-  // Client loop: queries spread uniformly over the window, fleets drawn by
-  // calibrated weight, engines by fleet-internal weight.
+void ScenarioRuntime::RunShard(std::size_t shard_index) {
+  ShardWorld& shard = shards_[shard_index];
+
+  // Every shard replays the identical global schedule (times, fleet and
+  // engine draws — cheap alias-table samples) and executes only the
+  // queries whose engine it owns. The schedule RNG is consumed in exactly
+  // the same order in every shard, so the realized traffic is one global
+  // sequence partitioned by engine ownership — not N loosely-related
+  // simulations — and is invariant to how shards map onto threads.
   sim::Rng rng(config_.seed ^ 0x10adull);
   sim::DiscreteSampler fleet_sampler(fleet_weights_);
   std::vector<sim::DiscreteSampler> engine_samplers;
@@ -482,9 +547,11 @@ ScenarioResult ScenarioRuntime::Run() {
             ? start_ - warmup_span + (warmup_span * i) / std::max<std::uint64_t>(warmup, 1)
             : diurnal.TimeOf(i - warmup, total) + rng.NextBelow(1000);
     std::size_t f = fleet_sampler.Sample(rng);
-    Fleet& fleet = fleets_[f];
-    WorkloadGenerator& workload = *fleet_workloads_[f];
+    std::size_t e = engine_samplers[f].Sample(rng);
+    if (engine_owner_[f][e] != shard_index) continue;
 
+    Fleet& fleet = fleets_[f];
+    WorkloadGenerator& workload = *shard.workloads[f];
     if (config_.inject_cyclic_event && !cyclic_domains_.empty() &&
         fleet.provider == Provider::kGoogle) {
       if (t >= event_start && t < event_end) {
@@ -495,36 +562,83 @@ ScenarioResult ScenarioRuntime::Run() {
     }
 
     ClientQuery query = workload.Next();
-    std::size_t e = engine_samplers[f].Sample(rng);
     fleet.engines[e]->Resolve(query.qname, query.qtype, t);
     if (i >= warmup) {
-      ++result.client_queries_issued;
-      ++result.client_queries_per_provider[std::string(
-          ToString(fleet.provider))];
+      ++shard.issued;
+      ++shard.issued_per_fleet[f];
     }
   }
 
-  // Harvest captures.
-  for (AuthService& service : services_) {
-    result.servers.push_back(service.meta);
-    if (!service.meta.captured) continue;
-    capture::CaptureBuffer captured = service.server->TakeCaptured();
+  // Harvest this shard's captures into one time-ordered buffer; ties keep
+  // service order, making the per-shard stream deterministic.
+  for (std::size_t idx = 0; idx < shard.servers.size(); ++idx) {
+    if (!service_specs_[idx].meta.captured) continue;
+    capture::CaptureBuffer captured = shard.servers[idx]->TakeCaptured();
     for (auto& record : captured) {
-      if (record.time_us >= start_) result.records.push_back(std::move(record));
+      if (record.time_us >= start_) shard.records.push_back(std::move(record));
     }
   }
-  std::sort(result.records.begin(), result.records.end(),
-            [](const capture::CaptureRecord& a,
-               const capture::CaptureRecord& b) {
-              return a.time_us < b.time_us;
-            });
+  capture::SortByTimeStable(shard.records);
+}
+
+ScenarioResult ScenarioRuntime::Run() {
+  BuildSites();
+  BuildZonesAndServers();
+  BuildShardWorlds();
+  BuildFleets();
+  PartitionEngines();
+
+  ScenarioResult result;
+  result.config = config_;
+  result.window_start = start_;
+  result.window_end = end_;
+  result.zone_domain_count = zone_domain_count_;
+  result.zone_domains_by_tld = zone_domains_by_tld_;
+
+  const std::size_t threads =
+      std::min(shard_count_, EffectiveThreads(config_.threads));
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < shard_count_; ++s) RunShard(s);
+  } else {
+    // Static shard->thread assignment; shards share no mutable state, so
+    // the workers need no synchronization beyond join().
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t k = 0; k < threads; ++k) {
+      workers.emplace_back([this, k, threads] {
+        for (std::size_t s = k; s < shard_count_; s += threads) RunShard(s);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  // Merge shard results deterministically: shard streams are already
+  // time-ordered, ties resolve to the lower shard index.
+  std::vector<capture::CaptureBuffer> shard_buffers;
+  shard_buffers.reserve(shard_count_);
+  for (ShardWorld& shard : shards_) {
+    shard_buffers.push_back(std::move(shard.records));
+  }
+  result.records = capture::MergeShards(std::move(shard_buffers));
+
+  for (const ServiceSpec& spec : service_specs_) {
+    result.servers.push_back(spec.meta);
+  }
+  for (ShardWorld& shard : shards_) {
+    result.client_queries_issued += shard.issued;
+    for (std::size_t f = 0; f < fleets_.size(); ++f) {
+      if (shard.issued_per_fleet[f] == 0) continue;
+      result.client_queries_per_provider[std::string(
+          ToString(fleets_[f].provider))] += shard.issued_per_fleet[f];
+    }
+    result.leaf_queries += shard.leaf->handled();
+  }
 
   for (Fleet& fleet : fleets_) {
     result.ptr_records.insert(result.ptr_records.end(),
                               fleet.ptr_records.begin(),
                               fleet.ptr_records.end());
   }
-  result.leaf_queries = leaf_->handled();
   result.asdb = std::move(asdb_);
   result.google_public = std::move(google_public_);
   return result;

@@ -42,6 +42,18 @@ struct ScenarioConfig {
   /// "Other AS" population scale vs the paper's ~37-42k ASes.
   double as_scale = 0.01;
   std::uint64_t seed = 20201027;
+  /// Worker threads executing the simulation shards (0 = use
+  /// hardware_concurrency, overridable via CLOUDDNS_THREADS). Output is
+  /// bit-identical for every thread count — see `shards`.
+  std::size_t threads = 0;
+  /// Number of simulation shards the client population is partitioned
+  /// into. Each shard owns a disjoint slice of the resolver engines, its
+  /// own authoritative-server instances (caches/RRL are shard-local), and
+  /// a seed substream derived as SubstreamSeed(seed, shard_id). The shard
+  /// count — never the thread count — determines the traffic realization,
+  /// so results depend on (seed, shards) only and any `threads` value
+  /// replays the identical simulation.
+  std::size_t shards = 16;
   /// Cache-warmup traffic streamed in the day before the capture window
   /// opens (as a fraction of client_queries). Real resolvers enter the
   /// week with warm caches; without this, one-time TLD discovery floods

@@ -58,11 +58,21 @@ std::map<std::string, Aggregation> CountByMonth(
     const capture::CaptureBuffer& records, const KeyFn& key,
     const Filter& filter) {
   std::map<std::string, Aggregation> months;
+  // Capture streams are time-ordered, so the month bucket changes rarely:
+  // memoize the current month's range and its Aggregation slot instead of
+  // redoing civil-date math and a map lookup per record.
+  sim::MonthBucketer bucketer;
+  std::string current;
+  Aggregation* agg = nullptr;
   for (const auto& record : records) {
     if (filter && !filter(record)) continue;
-    Aggregation& agg = months[sim::MonthKey(record.time_us)];
-    ++agg.counts[key(record)];
-    ++agg.total;
+    const std::string& month = bucketer.Key(record.time_us);
+    if (agg == nullptr || month != current) {
+      current = month;
+      agg = &months[month];
+    }
+    ++agg->counts[key(record)];
+    ++agg->total;
   }
   return months;
 }

@@ -36,6 +36,13 @@ struct Aggregation {
                       : static_cast<double>(Of(key)) /
                             static_cast<double>(total);
   }
+
+  /// Adds another aggregation's counts into this one (the reduction step
+  /// of the parallel analysis plan).
+  void Merge(const Aggregation& other) {
+    for (const auto& [key, count] : other.counts) counts[key] += count;
+    total += other.total;
+  }
 };
 
 /// Counts records per key. A null filter accepts everything.

@@ -1,0 +1,426 @@
+#include "entrada/plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ip.h"
+#include "sim/clock.h"
+
+namespace clouddns::entrada {
+namespace {
+
+constexpr std::uint64_t kNoAs = ~0ull;  ///< Code for an unrouted source.
+
+std::size_t EffectiveThreads(std::size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+[[nodiscard]] bool IsCoded(KeySpec::Kind kind) {
+  return kind != KeySpec::Kind::kSrcAddress && kind != KeySpec::Kind::kCustom;
+}
+
+/// Months coded as (year << 4) | month; rendered at merge time.
+[[nodiscard]] std::string RenderMonth(std::uint64_t code) {
+  char buf[16];
+  int n = std::snprintf(buf, sizeof buf, "%04d-%02u",
+                        static_cast<int>(code >> 4),
+                        static_cast<unsigned>(code & 0xf));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+/// Memoized time -> month-code map; capture streams are time-sorted so
+/// the cached range almost always hits.
+struct MonthCoder {
+  std::uint64_t Code(sim::TimeUs time) {
+    if (time < lo_ || time >= hi_) {
+      sim::CivilDate date = sim::CivilFromTime(time);
+      lo_ = sim::TimeFromCivil({date.year, date.month, 1});
+      hi_ = date.month == 12 ? sim::TimeFromCivil({date.year + 1, 1, 1})
+                             : sim::TimeFromCivil({date.year, date.month + 1, 1});
+      code_ = (static_cast<std::uint64_t>(date.year) << 4) | date.month;
+    }
+    return code_;
+  }
+  sim::TimeUs lo_ = 0, hi_ = 0;
+  std::uint64_t code_ = 0;
+};
+
+/// Lazy per-record derived values, computed at most once per record no
+/// matter how many specs consume them.
+struct RecordCtx {
+  const capture::CaptureRecord& r;
+  const net::AsDatabase* asdb;
+  const TagFn* tag_fn;
+
+  bool asn_done = false;
+  std::uint64_t asn_code = kNoAs;
+  bool tag_done = false;
+  std::uint16_t tag = 0;
+
+  std::uint64_t AsnCode() {
+    if (!asn_done) {
+      asn_done = true;
+      if (asdb != nullptr) {
+        if (auto asn = asdb->OriginAs(r.src)) asn_code = *asn;
+      }
+    }
+    return asn_code;
+  }
+  std::uint16_t Tag() {
+    if (!tag_done) {
+      tag_done = true;
+      if (*tag_fn) tag = (*tag_fn)(r);
+    }
+    return tag;
+  }
+};
+
+[[nodiscard]] bool Pass(const FilterSpec& filter, RecordCtx& ctx) {
+  const capture::CaptureRecord& r = ctx.r;
+  switch (filter.kind) {
+    case FilterSpec::Kind::kAll: break;
+    case FilterSpec::Kind::kValid:
+      if (dns::IsJunkRcode(r.rcode)) return false;
+      break;
+    case FilterSpec::Kind::kJunk:
+      if (!dns::IsJunkRcode(r.rcode)) return false;
+      break;
+    case FilterSpec::Kind::kUdp:
+      if (r.transport != dns::Transport::kUdp) return false;
+      break;
+    case FilterSpec::Kind::kTcp:
+      if (r.transport != dns::Transport::kTcp) return false;
+      break;
+    case FilterSpec::Kind::kV4:
+      if (!r.src.is_v4()) return false;
+      break;
+    case FilterSpec::Kind::kV6:
+      if (r.src.is_v4()) return false;
+      break;
+  }
+  if (filter.server_id && r.server_id != *filter.server_id) return false;
+  if (filter.tag && ctx.Tag() != *filter.tag) return false;
+  if (filter.custom && !filter.custom(r)) return false;
+  return true;
+}
+
+[[nodiscard]] std::uint64_t KeyCode(const KeySpec& key, RecordCtx& ctx) {
+  const capture::CaptureRecord& r = ctx.r;
+  switch (key.kind) {
+    case KeySpec::Kind::kQtype:
+      return static_cast<std::uint16_t>(r.qtype);
+    case KeySpec::Kind::kRcode:
+      return static_cast<std::uint8_t>(r.rcode);
+    case KeySpec::Kind::kTransport:
+      return static_cast<std::uint8_t>(r.transport);
+    case KeySpec::Kind::kFamily:
+      return r.src.is_v4() ? 0 : 1;
+    case KeySpec::Kind::kSrcAs:
+      return ctx.AsnCode();
+    case KeySpec::Kind::kTag:
+      return ctx.Tag();
+    default:
+      return 0;  // Unreachable for coded kinds.
+  }
+}
+
+}  // namespace
+
+/// Per-worker accumulation state; one slot vector per Op, mirroring the
+/// plan's own result arrays.
+struct AnalysisPlan::Partial {
+  /// Group-by state that holds integer-coded keys and a string-key
+  /// fallback; only one of the two maps sees traffic per spec.
+  struct Group {
+    std::unordered_map<std::uint64_t, std::uint64_t> coded;
+    std::map<std::string, std::uint64_t> strings;
+    std::uint64_t total = 0;
+  };
+  struct DistinctSet {
+    std::unordered_set<std::uint64_t> coded;
+    std::unordered_set<net::IpAddress, net::IpAddressHash> addresses;
+    std::unordered_set<std::string> strings;
+    [[nodiscard]] std::size_t Size() const {
+      return coded.size() + addresses.size() + strings.size();
+    }
+  };
+
+  std::vector<std::uint64_t> counts;
+  std::vector<Group> groups;
+  std::vector<std::map<std::uint64_t, Group>> months;
+  std::vector<DistinctSet> distincts;
+  std::vector<Hll> sketches;
+  std::vector<std::vector<double>> cdf_values;
+  MonthCoder month_coder;
+};
+
+AnalysisPlan::Handle AnalysisPlan::Add(Op op, FilterSpec filter, KeySpec key,
+                                       ValueFn value) {
+  Spec spec{op, std::move(filter), std::move(key), std::move(value),
+            slots_[static_cast<std::size_t>(op)]++};
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+AnalysisPlan::Handle AnalysisPlan::Count(FilterSpec filter) {
+  return Add(Op::kCount, std::move(filter), {}, nullptr);
+}
+AnalysisPlan::Handle AnalysisPlan::GroupBy(FilterSpec filter, KeySpec key) {
+  return Add(Op::kGroup, std::move(filter), std::move(key), nullptr);
+}
+AnalysisPlan::Handle AnalysisPlan::GroupByMonth(FilterSpec filter,
+                                                KeySpec key) {
+  return Add(Op::kMonth, std::move(filter), std::move(key), nullptr);
+}
+AnalysisPlan::Handle AnalysisPlan::Distinct(FilterSpec filter, KeySpec key) {
+  return Add(Op::kDistinct, std::move(filter), std::move(key), nullptr);
+}
+AnalysisPlan::Handle AnalysisPlan::Sketch(FilterSpec filter, KeySpec key) {
+  return Add(Op::kSketch, std::move(filter), std::move(key), nullptr);
+}
+AnalysisPlan::Handle AnalysisPlan::Collect(FilterSpec filter, ValueFn value) {
+  return Add(Op::kCdf, std::move(filter), {}, std::move(value));
+}
+
+void AnalysisPlan::Scan(const capture::CaptureRecord* first,
+                        const capture::CaptureRecord* last,
+                        Partial& partial) const {
+  for (const capture::CaptureRecord* record = first; record != last;
+       ++record) {
+    RecordCtx ctx{*record, asdb_, &tag_fn_};
+    for (const Spec& spec : specs_) {
+      if (!Pass(spec.filter, ctx)) continue;
+      switch (spec.op) {
+        case Op::kCount:
+          ++partial.counts[spec.slot];
+          break;
+        case Op::kGroup: {
+          Partial::Group& group = partial.groups[spec.slot];
+          if (IsCoded(spec.key.kind)) {
+            ++group.coded[KeyCode(spec.key, ctx)];
+          } else if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            ++group.strings[record->src.ToString()];
+          } else {
+            ++group.strings[spec.key.custom(*record)];
+          }
+          ++group.total;
+          break;
+        }
+        case Op::kMonth: {
+          Partial::Group& group =
+              partial.months[spec.slot][partial.month_coder.Code(
+                  record->time_us)];
+          if (IsCoded(spec.key.kind)) {
+            ++group.coded[KeyCode(spec.key, ctx)];
+          } else if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            ++group.strings[record->src.ToString()];
+          } else {
+            ++group.strings[spec.key.custom(*record)];
+          }
+          ++group.total;
+          break;
+        }
+        case Op::kDistinct: {
+          Partial::DistinctSet& set = partial.distincts[spec.slot];
+          if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            set.addresses.insert(record->src);
+          } else if (IsCoded(spec.key.kind)) {
+            set.coded.insert(KeyCode(spec.key, ctx));
+          } else {
+            set.strings.insert(spec.key.custom(*record));
+          }
+          break;
+        }
+        case Op::kSketch:
+          if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            partial.sketches[spec.slot].Add(record->src);
+          } else if (IsCoded(spec.key.kind)) {
+            // Hash the code; HLL only needs a well-mixed 64-bit input.
+            std::uint64_t z =
+                KeyCode(spec.key, ctx) + 0x9e3779b97f4a7c15ull;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            partial.sketches[spec.slot].AddHash(z ^ (z >> 31));
+          } else {
+            partial.sketches[spec.slot].Add(spec.key.custom(*record));
+          }
+          break;
+        case Op::kCdf:
+          if (auto v = spec.value(*record)) {
+            partial.cdf_values[spec.slot].push_back(*v);
+          }
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Key-code -> report string, shared by group and month rendering.
+std::string RenderCode(KeySpec::Kind kind, std::uint64_t code,
+                       const TagNamer& namer) {
+  switch (kind) {
+    case KeySpec::Kind::kQtype:
+      return std::string(ToString(static_cast<dns::RrType>(code)));
+    case KeySpec::Kind::kRcode:
+      return std::string(ToString(static_cast<dns::Rcode>(code)));
+    case KeySpec::Kind::kTransport:
+      return std::string(ToString(static_cast<dns::Transport>(code)));
+    case KeySpec::Kind::kFamily:
+      return code == 0 ? "IPv4" : "IPv6";
+    case KeySpec::Kind::kSrcAs:
+      return code == kNoAs ? "AS?" : "AS" + std::to_string(code);
+    case KeySpec::Kind::kTag:
+      return namer ? namer(static_cast<std::uint16_t>(code))
+                   : std::to_string(code);
+    default:
+      return std::to_string(code);
+  }
+}
+
+}  // namespace
+
+void AnalysisPlan::Fold(std::vector<Partial>& partials) {
+  // Reduce worker partials in chunk order, then render coded keys into the
+  // string-keyed result structures exactly once per distinct key.
+  Partial& merged = partials.front();
+  for (std::size_t w = 1; w < partials.size(); ++w) {
+    Partial& other = partials[w];
+    for (std::size_t s = 0; s < merged.counts.size(); ++s) {
+      merged.counts[s] += other.counts[s];
+    }
+    for (std::size_t s = 0; s < merged.groups.size(); ++s) {
+      for (const auto& [code, n] : other.groups[s].coded) {
+        merged.groups[s].coded[code] += n;
+      }
+      for (const auto& [key, n] : other.groups[s].strings) {
+        merged.groups[s].strings[key] += n;
+      }
+      merged.groups[s].total += other.groups[s].total;
+    }
+    for (std::size_t s = 0; s < merged.months.size(); ++s) {
+      for (auto& [month, group] : other.months[s]) {
+        Partial::Group& into = merged.months[s][month];
+        for (const auto& [code, n] : group.coded) into.coded[code] += n;
+        for (const auto& [key, n] : group.strings) into.strings[key] += n;
+        into.total += group.total;
+      }
+    }
+    for (std::size_t s = 0; s < merged.distincts.size(); ++s) {
+      merged.distincts[s].coded.merge(other.distincts[s].coded);
+      merged.distincts[s].addresses.merge(other.distincts[s].addresses);
+      merged.distincts[s].strings.merge(other.distincts[s].strings);
+    }
+    for (std::size_t s = 0; s < merged.sketches.size(); ++s) {
+      merged.sketches[s].Merge(other.sketches[s]);
+    }
+    for (std::size_t s = 0; s < merged.cdf_values.size(); ++s) {
+      auto& into = merged.cdf_values[s];
+      auto& from = other.cdf_values[s];
+      into.insert(into.end(), from.begin(), from.end());
+    }
+  }
+
+  counts_ = std::move(merged.counts);
+  distincts_.clear();
+  for (const auto& set : merged.distincts) distincts_.push_back(set.Size());
+  sketches_ = std::move(merged.sketches);
+  cdfs_.assign(merged.cdf_values.size(), Cdf{});
+  for (std::size_t s = 0; s < merged.cdf_values.size(); ++s) {
+    for (double v : merged.cdf_values[s]) cdfs_[s].Add(v);
+  }
+
+  auto render_group = [this](const Spec& spec, const Partial::Group& group) {
+    Aggregation agg;
+    for (const auto& [code, n] : group.coded) {
+      agg.counts[RenderCode(spec.key.kind, code, tag_namer_)] += n;
+    }
+    for (const auto& [key, n] : group.strings) agg.counts[key] += n;
+    agg.total = group.total;
+    return agg;
+  };
+  groups_.assign(slots_[static_cast<std::size_t>(Op::kGroup)], {});
+  months_.assign(slots_[static_cast<std::size_t>(Op::kMonth)], {});
+  for (const Spec& spec : specs_) {
+    if (spec.op == Op::kGroup) {
+      groups_[spec.slot] = render_group(spec, merged.groups[spec.slot]);
+    } else if (spec.op == Op::kMonth) {
+      for (const auto& [month, group] : merged.months[spec.slot]) {
+        months_[spec.slot][RenderMonth(month)] = render_group(spec, group);
+      }
+    }
+  }
+}
+
+void AnalysisPlan::Execute(const capture::CaptureBuffer& records,
+                          std::size_t threads) {
+  std::size_t workers = EffectiveThreads(threads);
+  // Tiny inputs are not worth the thread spawn.
+  if (records.size() < 4096) workers = 1;
+  if (workers > records.size() && !records.empty()) workers = records.size();
+  if (workers == 0) workers = 1;
+
+  std::vector<Partial> partials(workers);
+  for (Partial& partial : partials) {
+    partial.counts.assign(slots_[static_cast<std::size_t>(Op::kCount)], 0);
+    partial.groups.resize(slots_[static_cast<std::size_t>(Op::kGroup)]);
+    partial.months.resize(slots_[static_cast<std::size_t>(Op::kMonth)]);
+    partial.distincts.resize(
+        slots_[static_cast<std::size_t>(Op::kDistinct)]);
+    partial.sketches.resize(slots_[static_cast<std::size_t>(Op::kSketch)]);
+    partial.cdf_values.resize(slots_[static_cast<std::size_t>(Op::kCdf)]);
+  }
+
+  const capture::CaptureRecord* base = records.data();
+  const std::size_t total = records.size();
+  if (workers == 1) {
+    Scan(base, base + total, partials[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = total * w / workers;
+      const std::size_t end = total * (w + 1) / workers;
+      pool.emplace_back([this, base, begin, end, &partials, w] {
+        Scan(base + begin, base + end, partials[w]);
+      });
+    }
+    for (auto& worker : pool) worker.join();
+  }
+
+  Fold(partials);
+  executed_ = true;
+}
+
+std::uint64_t AnalysisPlan::CountResult(Handle h) const {
+  return counts_[specs_[h].slot];
+}
+const Aggregation& AnalysisPlan::GroupResult(Handle h) const {
+  return groups_[specs_[h].slot];
+}
+const std::map<std::string, Aggregation>& AnalysisPlan::MonthResult(
+    Handle h) const {
+  return months_[specs_[h].slot];
+}
+std::uint64_t AnalysisPlan::DistinctResult(Handle h) const {
+  return distincts_[specs_[h].slot];
+}
+const Hll& AnalysisPlan::SketchResult(Handle h) const {
+  return sketches_[specs_[h].slot];
+}
+Cdf& AnalysisPlan::CdfResult(Handle h) {
+  return cdfs_[specs_[h].slot];
+}
+
+}  // namespace clouddns::entrada

@@ -65,7 +65,7 @@ RecursiveResolver::RecursiveResolver(sim::Network& network,
                                      ResolverConfig config,
                                      std::vector<net::IpAddress> root_v4,
                                      std::vector<net::IpAddress> root_v6)
-    : network_(network),
+    : network_(&network),
       config_(std::move(config)),
       cache_(config_.max_cache_entries),
       rng_(config_.seed) {
@@ -377,7 +377,7 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
 
   --budget;
   ++upstream_total_;
-  auto sent = network_.Query(src, host->site, *server, dns::Transport::kUdp,
+  auto sent = network_->Query(src, host->site, *server, dns::Transport::kUdp,
                              wire, now);
   if (!sent.delivered) return failure;
 
@@ -398,7 +398,7 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
     if (budget <= 0) return failure;
     --budget;
     ++upstream_total_;
-    auto tcp = network_.Query(src, host->site, *server, dns::Transport::kTcp,
+    auto tcp = network_->Query(src, host->site, *server, dns::Transport::kTcp,
                               wire, now);
     if (!tcp.delivered) return failure;
     response = dns::Message::Decode(tcp.response);

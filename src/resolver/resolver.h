@@ -89,6 +89,11 @@ class RecursiveResolver {
   /// Resolves a client query at simulated time `now`.
   Result Resolve(const dns::Name& qname, dns::RrType qtype, sim::TimeUs now);
 
+  /// Repoints upstream traffic at a different network plane. The parallel
+  /// scenario engine builds engines once, then attaches each to its owner
+  /// shard's network (which carries that shard's authoritative servers).
+  void AttachNetwork(sim::Network& network) { network_ = &network; }
+
   [[nodiscard]] const DnsCache& cache() const { return cache_; }
   [[nodiscard]] const ResolverConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t upstream_query_count() const {
@@ -133,7 +138,7 @@ class RecursiveResolver {
 
   ZoneEntry* RootEntry(sim::TimeUs now);
 
-  sim::Network& network_;
+  sim::Network* network_;
   ResolverConfig config_;
   DnsCache cache_;
   InfraCache infra_;

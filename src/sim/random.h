@@ -63,6 +63,19 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+/// Derives an independent substream seed from a base seed and a stream id
+/// (SplitMix64 finalizer over the mixed pair). The parallel scenario engine
+/// seeds every shard's generators with SubstreamSeed(base_seed, shard_id),
+/// so shard streams are decorrelated yet fully determined by the base seed
+/// — the scheduling of shards onto threads never touches the randomness.
+[[nodiscard]] inline std::uint64_t SubstreamSeed(std::uint64_t base,
+                                                std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Samples indices 0..n-1 with probability proportional to the given
 /// weights, in O(1) per draw (alias method).
 class DiscreteSampler {

@@ -6,7 +6,10 @@
 namespace clouddns::zone {
 
 void Zone::Add(dns::ResourceRecord record) {
-  sorted_valid_ = false;
+  {
+    std::lock_guard<std::mutex> lock(*denial_mutex_);
+    sorted_names_.reset();
+  }
   if (!record.name.IsSubdomainOf(apex_)) {
     throw std::invalid_argument("Zone::Add: " + record.name.ToString() +
                                 " is outside zone " + apex_.ToString());
@@ -54,23 +57,27 @@ bool Zone::IsSigned() const {
   return Find(apex_, dns::RrType::kDnskey) != nullptr;
 }
 
-Zone::DenialRange Zone::DenialNeighbors(const dns::Name& qname) const {
-  if (!sorted_valid_) {
-    sorted_names_.clear();
-    sorted_names_.reserve(names_.size());
-    for (const auto& [key, name] : names_) sorted_names_.push_back(name);
-    std::sort(sorted_names_.begin(), sorted_names_.end());
-    sorted_valid_ = true;
+std::shared_ptr<const std::vector<dns::Name>> Zone::SortedNames() const {
+  std::lock_guard<std::mutex> lock(*denial_mutex_);
+  if (!sorted_names_) {
+    auto sorted = std::make_shared<std::vector<dns::Name>>();
+    sorted->reserve(names_.size());
+    for (const auto& [key, name] : names_) sorted->push_back(name);
+    std::sort(sorted->begin(), sorted->end());
+    sorted_names_ = std::move(sorted);
   }
+  return sorted_names_;
+}
+
+Zone::DenialRange Zone::DenialNeighbors(const dns::Name& qname) const {
+  auto sorted = SortedNames();
   DenialRange range;
   range.prev = apex_;
   range.next = apex_;  // wrap by default
-  if (sorted_names_.empty()) return range;
-  auto it = std::lower_bound(sorted_names_.begin(), sorted_names_.end(),
-                             qname);
-  range.prev = it == sorted_names_.begin() ? sorted_names_.front()
-                                           : *std::prev(it);
-  range.next = it == sorted_names_.end() ? apex_ : *it;
+  if (sorted->empty()) return range;
+  auto it = std::lower_bound(sorted->begin(), sorted->end(), qname);
+  range.prev = it == sorted->begin() ? sorted->front() : *std::prev(it);
+  range.next = it == sorted->end() ? apex_ : *it;
   return range;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -95,9 +96,15 @@ class Zone {
   std::unordered_map<std::string, dns::Name> names_;
   std::size_t record_count_ = 0;
   // Canonically sorted owner names, built lazily for DenialNeighbors and
-  // invalidated by Add.
-  mutable std::vector<dns::Name> sorted_names_;
-  mutable bool sorted_valid_ = false;
+  // invalidated by Add. Zones are shared read-only across parallel scenario
+  // shards, so the cache is handed out as an immutable snapshot under a
+  // lock; the search itself runs lock-free on the snapshot. The mutex lives
+  // behind a unique_ptr to keep Zone movable.
+  [[nodiscard]] std::shared_ptr<const std::vector<dns::Name>> SortedNames()
+      const;
+  mutable std::shared_ptr<const std::vector<dns::Name>> sorted_names_;
+  mutable std::unique_ptr<std::mutex> denial_mutex_ =
+      std::make_unique<std::mutex>();
 
   /// Finds the closest enclosing zone cut strictly below the apex, if any.
   [[nodiscard]] std::optional<dns::Name> FindZoneCut(

@@ -1,0 +1,77 @@
+// The shard-merge contract: per-shard streams join into one time-ordered
+// buffer with ties resolved to the lower shard index, independent of how
+// many buffers there are or how records are distributed among them.
+#include "capture/merge.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddns::capture {
+namespace {
+
+CaptureRecord At(sim::TimeUs time, std::uint32_t marker) {
+  CaptureRecord r;
+  r.time_us = time;
+  r.src_port = static_cast<std::uint16_t>(marker);
+  return r;
+}
+
+TEST(MergeTest, MergesByTime) {
+  std::vector<CaptureBuffer> shards(2);
+  shards[0] = {At(10, 0), At(30, 1), At(50, 2)};
+  shards[1] = {At(20, 3), At(40, 4)};
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time_us, merged[i].time_us);
+  }
+  EXPECT_EQ(merged[0].src_port, 0);
+  EXPECT_EQ(merged[1].src_port, 3);
+  EXPECT_EQ(merged[4].src_port, 2);
+}
+
+TEST(MergeTest, TiesResolveToLowerShard) {
+  std::vector<CaptureBuffer> shards(3);
+  shards[0] = {At(100, 0)};
+  shards[1] = {At(100, 1), At(100, 2)};
+  shards[2] = {At(100, 3)};
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].src_port, 0);  // shard 0 first
+  EXPECT_EQ(merged[1].src_port, 1);  // then shard 1, in-shard order kept
+  EXPECT_EQ(merged[2].src_port, 2);
+  EXPECT_EQ(merged[3].src_port, 3);
+}
+
+TEST(MergeTest, HandlesEmptyShards) {
+  EXPECT_TRUE(MergeShards({}).empty());
+  std::vector<CaptureBuffer> shards(4);
+  shards[2] = {At(7, 9)};
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].src_port, 9);
+}
+
+TEST(MergeTest, SortByTimeStableKeepsEqualOrder) {
+  CaptureBuffer buffer = {At(5, 0), At(1, 1), At(5, 2), At(1, 3)};
+  SortByTimeStable(buffer);
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer[0].src_port, 1);
+  EXPECT_EQ(buffer[1].src_port, 3);
+  EXPECT_EQ(buffer[2].src_port, 0);
+  EXPECT_EQ(buffer[3].src_port, 2);
+}
+
+TEST(MergeTest, AppendBufferMovesAll) {
+  CaptureBuffer dst = {At(1, 0)};
+  CaptureBuffer src = {At(2, 1), At(3, 2)};
+  AppendBuffer(dst, std::move(src));
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst[2].src_port, 2);
+  CaptureBuffer empty_dst;
+  CaptureBuffer src2 = {At(4, 5)};
+  AppendBuffer(empty_dst, std::move(src2));
+  ASSERT_EQ(empty_dst.size(), 1u);
+}
+
+}  // namespace
+}  // namespace clouddns::capture

@@ -1,0 +1,104 @@
+// Determinism contract of the parallel scenario engine: the merged capture
+// stream is BYTE-IDENTICAL for every thread count (threads only schedule
+// shards onto workers; the shard count determines the realization), and the
+// headline aggregates (Table 3 / Fig. 1) follow suit.
+#include <gtest/gtest.h>
+
+#include "analysis/dataset_cache.h"
+#include "analysis/experiments.h"
+#include "cloud/scenario.h"
+
+namespace clouddns::cloud {
+namespace {
+
+ScenarioConfig SmallConfig(std::size_t threads) {
+  ScenarioConfig config;
+  config.vantage = Vantage::kNl;
+  config.year = 2020;
+  config.client_queries = 40'000;
+  config.zone_scale = 0.001;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ParallelScenarioTest, ByteIdenticalAcrossThreadCounts) {
+  auto one = RunScenario(SmallConfig(1));
+  auto two = RunScenario(SmallConfig(2));
+  auto eight = RunScenario(SmallConfig(8));
+
+  ASSERT_FALSE(one.records.empty());
+  ASSERT_EQ(one.records.size(), two.records.size());
+  ASSERT_EQ(one.records.size(), eight.records.size());
+  // CaptureRecord has defaulted operator==; compare every field of every
+  // record across the three runs.
+  EXPECT_TRUE(one.records == two.records);
+  EXPECT_TRUE(one.records == eight.records);
+
+  EXPECT_EQ(one.client_queries_issued, two.client_queries_issued);
+  EXPECT_EQ(one.client_queries_issued, eight.client_queries_issued);
+  EXPECT_EQ(one.leaf_queries, two.leaf_queries);
+  EXPECT_EQ(one.leaf_queries, eight.leaf_queries);
+  EXPECT_EQ(one.client_queries_per_provider, two.client_queries_per_provider);
+  EXPECT_EQ(one.client_queries_per_provider,
+            eight.client_queries_per_provider);
+}
+
+TEST(ParallelScenarioTest, AggregatesIdenticalAcrossThreadCounts) {
+  auto one = RunScenario(SmallConfig(1));
+  auto eight = RunScenario(SmallConfig(8));
+
+  // Table 3 numbers.
+  auto stats_one = analysis::ComputeDatasetStats(one);
+  auto stats_eight = analysis::ComputeDatasetStats(eight);
+  EXPECT_EQ(stats_one.queries_total, stats_eight.queries_total);
+  EXPECT_EQ(stats_one.queries_valid, stats_eight.queries_valid);
+  EXPECT_EQ(stats_one.resolvers_exact, stats_eight.resolvers_exact);
+  EXPECT_EQ(stats_one.ases_exact, stats_eight.ases_exact);
+  EXPECT_DOUBLE_EQ(stats_one.resolvers_hll, stats_eight.resolvers_hll);
+  EXPECT_DOUBLE_EQ(stats_one.ases_hll, stats_eight.ases_hll);
+
+  // Fig. 1 numbers.
+  auto shares_one = analysis::ComputeCloudShares(one);
+  auto shares_eight = analysis::ComputeCloudShares(eight);
+  ASSERT_EQ(shares_one.size(), shares_eight.size());
+  for (std::size_t i = 0; i < shares_one.size(); ++i) {
+    EXPECT_EQ(shares_one[i].queries, shares_eight[i].queries);
+    EXPECT_DOUBLE_EQ(shares_one[i].share, shares_eight[i].share);
+  }
+}
+
+TEST(ParallelScenarioTest, ShardCountChangesRealizationButStaysValid) {
+  // Unlike threads, the shard count IS part of the statistical
+  // configuration: per-shard workload substreams produce a different
+  // (equally valid) traffic realization.
+  auto base = RunScenario(SmallConfig(1));
+  ScenarioConfig coarse = SmallConfig(1);
+  coarse.shards = 4;
+  auto other = RunScenario(coarse);
+  EXPECT_NE(base.records.size(), other.records.size());
+  EXPECT_EQ(base.client_queries_issued, other.client_queries_issued);
+}
+
+TEST(ParallelScenarioTest, CacheKeyTracksShardsButNeverThreads) {
+  ScenarioConfig a = SmallConfig(1);
+  ScenarioConfig b = SmallConfig(8);
+  EXPECT_EQ(analysis::CacheKey(a), analysis::CacheKey(b));
+
+  ScenarioConfig c = SmallConfig(1);
+  c.shards = 4;
+  EXPECT_NE(analysis::CacheKey(a), analysis::CacheKey(c));
+}
+
+TEST(ParallelScenarioTest, DryRebuildStillWorksSharded) {
+  // The cache-hit path replays a zero-query scenario to rebuild context
+  // (AS database, PTR records) — it must survive the sharded engine.
+  ScenarioConfig dry = SmallConfig(4);
+  dry.client_queries = 0;
+  auto result = RunScenario(dry);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.client_queries_issued, 0u);
+  EXPECT_FALSE(result.ptr_records.empty());
+}
+
+}  // namespace
+}  // namespace clouddns::cloud
