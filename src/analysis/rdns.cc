@@ -27,10 +27,10 @@ std::optional<dns::Name> RdnsDatabase::Lookup(
   return std::get<dns::PtrRdata>(result.records.front().rdata).target;
 }
 
-std::unordered_map<std::string, std::vector<net::IpAddress>>
+std::map<std::string, std::vector<net::IpAddress>>
 RdnsDatabase::GroupByPtrName(
     const std::vector<net::IpAddress>& addresses) const {
-  std::unordered_map<std::string, std::vector<net::IpAddress>> groups;
+  std::map<std::string, std::vector<net::IpAddress>> groups;
   for (const auto& address : addresses) {
     if (auto target = Lookup(address)) {
       groups[target->ToKey()].push_back(address);

@@ -4,9 +4,9 @@
 // match v4/v6 addresses whose PTR names coincide to find dual-stack hosts).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/name.h"
@@ -28,8 +28,10 @@ class RdnsDatabase {
 
   /// Hosts grouped by identical PTR target name: the dual-stack matching
   /// step. Key is the lowercased PTR name; values are the addresses whose
-  /// reverse lookup produced it.
-  [[nodiscard]] std::unordered_map<std::string, std::vector<net::IpAddress>>
+  /// reverse lookup produced it, in input order. Ordered map: consumers
+  /// iterate this straight into reports, so the boundary must be sorted
+  /// (determinism contract, DESIGN.md §8).
+  [[nodiscard]] std::map<std::string, std::vector<net::IpAddress>>
   GroupByPtrName(const std::vector<net::IpAddress>& addresses) const;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "dns/audit.h"
 #include "dns/message.h"
 
 namespace clouddns::capture {
@@ -56,6 +57,9 @@ dns::WireBuffer QueryWire(const CaptureRecord& record) {
 
 void AppendFrame(std::vector<std::uint8_t>& out, const CaptureRecord& record) {
   dns::WireBuffer dns_wire = QueryWire(record);
+  // Every payload the capture writer embeds must be a conformant message;
+  // a violation here means the re-encoder mangled the record.
+  dns::audit::Audit(dns_wire, "capture::EncodePcap frame payload");
 
   // L4 payload (+2-byte length prefix over TCP, RFC 1035 §4.2.2).
   std::vector<std::uint8_t> l4;
@@ -109,7 +113,8 @@ void AppendFrame(std::vector<std::uint8_t>& out, const CaptureRecord& record) {
     ip.push_back(64);  // hop limit
     const auto& src = record.src.v6().bytes();
     ip.insert(ip.end(), src.begin(), src.end());
-    const auto& dst = net::Ipv6Address::Parse(kServerV6)->bytes();
+    // Copy, not reference: bytes() would dangle off the temporary optional.
+    const auto dst = net::Ipv6Address::Parse(kServerV6)->bytes();
     ip.insert(ip.end(), dst.begin(), dst.end());
   }
 

@@ -1,0 +1,220 @@
+#include "dns/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/types.h"
+
+namespace clouddns::dns::audit {
+namespace {
+
+/// Independent structural walker. Deliberately does not share code with
+/// WireReader: the auditor exists to catch the parser's own mistakes, so
+/// it re-derives every bound from RFC 1035 directly.
+class Walker {
+ public:
+  Walker(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::optional<std::string> Check() {
+    if (size_ < 12) {
+      return Fail("header truncated: " + std::to_string(size_) +
+                  " bytes, need 12");
+    }
+    pos_ = 4;  // id + flags already irrelevant to structure
+    std::uint16_t qdcount = U16At(4), ancount = U16At(6), nscount = U16At(8),
+                  arcount = U16At(10);
+    pos_ = 12;
+    for (std::uint16_t q = 0; q < qdcount; ++q) {
+      if (auto err = CheckName("question " + std::to_string(q))) return err;
+      if (!Advance(4, "question type/class")) return error_;
+    }
+    if (auto err = CheckSection("answer", ancount, false)) return err;
+    if (auto err = CheckSection("authority", nscount, false)) return err;
+    if (auto err = CheckSection("additional", arcount, true)) return err;
+    if (pos_ != size_) {
+      return Fail(std::to_string(size_ - pos_) +
+                  " trailing byte(s) after the last record");
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<std::string> CheckSection(const char* section,
+                                          std::uint16_t count,
+                                          bool opt_allowed) {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      const std::string what =
+          std::string(section) + " record " + std::to_string(i);
+      bool root_owner = false;
+      if (auto err = CheckName(what, &root_owner)) return err;
+      if (!Advance(10, "record fixed fields")) return error_;
+      std::uint16_t type = U16At(pos_ - 10);
+      std::uint16_t rdlength = U16At(pos_ - 2);
+      if (type == static_cast<std::uint16_t>(RrType::kOpt)) {
+        if (!opt_allowed) {
+          return Fail("OPT pseudo-record in the " + std::string(section) +
+                      " section; RFC 6891 allows it only in additional");
+        }
+        if (!root_owner) {
+          return Fail("OPT owner name is not the root (RFC 6891 §6.1.2)");
+        }
+        if (seen_opt_) return Fail("duplicate OPT record (RFC 6891 §6.1.1)");
+        seen_opt_ = true;
+      }
+      if (pos_ + rdlength > size_) {
+        return Fail(what + ": RDLENGTH " + std::to_string(rdlength) +
+                    " overruns the message (" +
+                    std::to_string(size_ - pos_) + " bytes left)");
+      }
+      pos_ += rdlength;
+    }
+    return std::nullopt;
+  }
+
+  /// Walks one (possibly compressed) name starting at pos_, advancing
+  /// pos_ past it. Pointer targets must strictly decrease — that is what
+  /// "a prior occurrence of a name" (RFC 1035 §4.1.4) compiles to, and it
+  /// makes loops impossible by construction.
+  std::optional<std::string> CheckName(const std::string& what,
+                                       bool* root = nullptr) {
+    std::size_t cursor = pos_;
+    std::size_t resume = 0;
+    bool jumped = false;
+    std::size_t last_target = cursor;
+    std::size_t name_bytes = 1;  // terminating root byte
+    std::size_t labels = 0;
+    for (;;) {
+      if (cursor >= size_) return Fail(what + ": name runs off the buffer");
+      std::uint8_t len = data_[cursor];
+      if ((len & 0xc0) == 0xc0) {
+        if (cursor + 1 >= size_) {
+          return Fail(what + ": compression pointer truncated");
+        }
+        std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | data_[cursor + 1];
+        if (target >= last_target) {
+          return Fail(what + ": compression pointer at offset " +
+                      std::to_string(cursor) + " targets offset " +
+                      std::to_string(target) +
+                      " which is not strictly earlier — forward reference "
+                      "or loop");
+        }
+        if (!jumped) {
+          resume = cursor + 2;
+          jumped = true;
+        }
+        last_target = target;
+        cursor = target;
+        continue;
+      }
+      if ((len & 0xc0) != 0) {
+        return Fail(what + ": reserved label type 0x" +
+                    std::to_string(len >> 6) + " at offset " +
+                    std::to_string(cursor));
+      }
+      ++cursor;
+      if (len == 0) break;
+      if (len > Name::kMaxLabelLength) {
+        return Fail(what + ": label length " + std::to_string(len) +
+                    " exceeds 63");
+      }
+      if (cursor + len > size_) {
+        return Fail(what + ": label runs off the buffer");
+      }
+      name_bytes += 1 + len;
+      if (name_bytes > Name::kMaxWireLength) {
+        return Fail(what + ": name exceeds 255 wire bytes");
+      }
+      ++labels;
+      cursor += len;
+    }
+    if (root != nullptr) *root = labels == 0;
+    pos_ = jumped ? resume : cursor;
+    return std::nullopt;
+  }
+
+  bool Advance(std::size_t count, const char* what) {
+    if (pos_ + count > size_) {
+      error_ = std::string(what) + " truncated at offset " +
+               std::to_string(pos_);
+      return false;
+    }
+    pos_ += count;
+    return true;
+  }
+
+  std::optional<std::string> Fail(std::string message) {
+    error_ = std::move(message);
+    return error_;
+  }
+
+  [[nodiscard]] std::uint16_t U16At(std::size_t at) const {
+    return static_cast<std::uint16_t>((data_[at] << 8) | data_[at + 1]);
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool seen_opt_ = false;
+  std::string error_;
+};
+
+#ifdef CLOUDDNS_AUDIT
+/// Re-entrancy guard: the violation dump decodes the message, and that
+/// decode path itself calls Audit().
+thread_local bool tl_in_audit_dump = false;
+
+[[noreturn]] void Die(const std::uint8_t* data, std::size_t size,
+                      const char* context, const std::string& why) {
+  tl_in_audit_dump = true;
+  std::fprintf(stderr,
+               "\n=== clouddns wire audit failure ===\ncontext: %s\n"
+               "violation: %s\nmessage (%zu bytes):\n",
+               context, why.c_str(), size);
+  const std::size_t shown = size < 512 ? size : 512;
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::fprintf(stderr, "%02x%s", data[i],
+                 (i + 1) % 16 == 0 ? "\n" : " ");
+  }
+  if (shown % 16 != 0) std::fprintf(stderr, "\n");
+  if (shown < size) std::fprintf(stderr, "... (%zu more)\n", size - shown);
+  if (auto decoded = Message::Decode(data, size)) {
+    std::fprintf(stderr, "decoded view:\n%s", decoded->ToString().c_str());
+  } else {
+    std::fprintf(stderr, "decoded view: parser also rejects this message\n");
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+#endif
+
+}  // namespace
+
+std::optional<std::string> CheckWire(const std::uint8_t* data,
+                                     std::size_t size) {
+  return Walker(data, size).Check();
+}
+
+std::optional<std::string> CheckWire(const WireBuffer& wire) {
+  return CheckWire(wire.data(), wire.size());
+}
+
+void Audit(const std::uint8_t* data, std::size_t size, const char* context) {
+#ifdef CLOUDDNS_AUDIT
+  if (tl_in_audit_dump) return;
+  if (auto why = CheckWire(data, size)) Die(data, size, context, *why);
+#else
+  (void)data;
+  (void)size;
+  (void)context;
+#endif
+}
+
+void Audit(const WireBuffer& wire, const char* context) {
+  Audit(wire.data(), wire.size(), context);
+}
+
+}  // namespace clouddns::dns::audit

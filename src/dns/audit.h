@@ -1,0 +1,47 @@
+// Debug-build DNS wire-format auditor.
+//
+// CheckWire() structurally re-walks a full DNS message independently of
+// the WireReader parser and reports the first RFC 1035 violation it
+// finds: short header, label lengths, forward or looping compression
+// pointers, names over 255 wire bytes, RDLENGTH running past the buffer,
+// trailing bytes after the last record, and EDNS(0) OPT misuse (non-root
+// owner, outside the additional section, duplicated — RFC 6891 §6.1.1).
+//
+// Audit() is the hook compiled into Message encode/decode and the pcap
+// capture writer. Under -DCLOUDDNS_AUDIT=ON it runs CheckWire on every
+// message the system emits or accepts and aborts with a hex + decoded
+// dump on violation, turning the whole test suite and the bench drivers
+// into a conformance harness; in normal builds it is an empty call.
+// CheckWire itself is always compiled so tests can drive it directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/wire.h"
+
+namespace clouddns::dns::audit {
+
+/// Returns a description of the first structural violation, or nullopt
+/// when `data` is a well-formed RFC 1035 message.
+[[nodiscard]] std::optional<std::string> CheckWire(const std::uint8_t* data,
+                                                   std::size_t size);
+[[nodiscard]] std::optional<std::string> CheckWire(const WireBuffer& wire);
+
+/// True when the auditor is compiled into the codec paths.
+[[nodiscard]] constexpr bool Enabled() {
+#ifdef CLOUDDNS_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Codec-path hook: no-op unless CLOUDDNS_AUDIT is on, in which case a
+/// violation prints `context`, the offending bytes, and a best-effort
+/// decoded rendering, then aborts.
+void Audit(const std::uint8_t* data, std::size_t size, const char* context);
+void Audit(const WireBuffer& wire, const char* context);
+
+}  // namespace clouddns::dns::audit

@@ -1,5 +1,7 @@
 #include "dns/message.h"
 
+#include "dns/audit.h"
+
 namespace clouddns::dns {
 namespace {
 
@@ -80,6 +82,7 @@ WireBuffer EncodeImpl(const Message& msg, bool truncate_sections) {
         static_cast<std::uint16_t>(msg.additionals.size() + opt_count));
   }
   EncodeSections(msg, writer, truncate_sections);
+  audit::Audit(out, "dns::Message::Encode");
   return out;
 }
 
@@ -156,11 +159,21 @@ std::optional<Message> Message::Decode(const std::uint8_t* data,
       !read_records(nscount, msg.authorities)) {
     return std::nullopt;
   }
+  // RFC 6891 §6.1.1: the OPT pseudo-record lives in the additional
+  // section only.
+  for (const auto& section : {msg.answers, msg.authorities}) {
+    for (const auto& rr : section) {
+      if (rr.type == RrType::kOpt) return std::nullopt;
+    }
+  }
   std::vector<ResourceRecord> additionals;
   if (!read_records(arcount, additionals)) return std::nullopt;
   for (auto& rr : additionals) {
     if (rr.type == RrType::kOpt) {
       if (msg.edns) return std::nullopt;  // duplicate OPT is FORMERR
+      if (rr.name.LabelCount() != 0) {
+        return std::nullopt;  // OPT owner must be root (RFC 6891 §6.1.2)
+      }
       EdnsInfo edns;
       edns.udp_payload_size = static_cast<std::uint16_t>(rr.rclass);
       edns.dnssec_ok = (rr.ttl & 0x8000u) != 0;
@@ -170,6 +183,12 @@ std::optional<Message> Message::Decode(const std::uint8_t* data,
       msg.additionals.push_back(std::move(rr));
     }
   }
+  // Trailing bytes after the promised record counts are a framing error
+  // (and would make re-encoding lossy).
+  if (!reader.AtEnd()) return std::nullopt;
+  // Anything the parser accepts must also satisfy the structural auditor;
+  // a divergence here is a parser bug, not bad input.
+  audit::Audit(data, size, "dns::Message::Decode (accepted input)");
   return msg;
 }
 

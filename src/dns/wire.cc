@@ -88,7 +88,7 @@ bool WireReader::ReadName(Name& name) {
   std::size_t cursor = offset_;
   std::size_t end_of_name = 0;  // where the cursor resumes (set at first jump)
   bool jumped = false;
-  int hops = 0;
+  std::size_t last_target = offset_;
   std::size_t total_len = 1;
 
   for (;;) {
@@ -98,12 +98,17 @@ bool WireReader::ReadName(Name& name) {
       if (cursor + 1 >= size_) return false;
       std::size_t target = static_cast<std::size_t>((len & 0x3f) << 8) |
                            data_[cursor + 1];
+      // RFC 1035 §4.1.4: a pointer references a *prior* occurrence.
+      // Requiring each target to be strictly earlier than the last makes
+      // loops and forward references impossible by construction, and
+      // matches both what WriteName emits and what the wire auditor
+      // (dns/audit.h) enforces.
+      if (target >= last_target) return false;
       if (!jumped) {
         end_of_name = cursor + 2;
         jumped = true;
       }
-      // Hop limit bounds total work on crafted pointer chains.
-      if (++hops > 32) return false;
+      last_target = target;
       cursor = target;
       continue;
     }

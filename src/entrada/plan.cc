@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -149,9 +150,9 @@ struct AnalysisPlan::Partial {
   struct DistinctSet {
     std::unordered_set<std::uint64_t> coded;
     std::unordered_set<net::IpAddress, net::IpAddressHash> addresses;
-    std::unordered_set<std::string> strings;
+    std::unordered_set<std::string> texts;
     [[nodiscard]] std::size_t Size() const {
-      return coded.size() + addresses.size() + strings.size();
+      return coded.size() + addresses.size() + texts.size();
     }
   };
 
@@ -237,7 +238,7 @@ void AnalysisPlan::Scan(const capture::CaptureRecord* first,
           } else if (IsCoded(spec.key.kind)) {
             set.coded.insert(KeyCode(spec.key, ctx));
           } else {
-            set.strings.insert(spec.key.custom(*record));
+            set.texts.insert(spec.key.custom(*record));
           }
           break;
         }
@@ -301,6 +302,7 @@ void AnalysisPlan::Fold(std::vector<Partial>& partials) {
       merged.counts[s] += other.counts[s];
     }
     for (std::size_t s = 0; s < merged.groups.size(); ++s) {
+      // lint:allow(unordered-iter): commutative += merge into a keyed map — visitation order cannot change any total
       for (const auto& [code, n] : other.groups[s].coded) {
         merged.groups[s].coded[code] += n;
       }
@@ -312,6 +314,7 @@ void AnalysisPlan::Fold(std::vector<Partial>& partials) {
     for (std::size_t s = 0; s < merged.months.size(); ++s) {
       for (auto& [month, group] : other.months[s]) {
         Partial::Group& into = merged.months[s][month];
+        // lint:allow(unordered-iter): commutative += merge into a keyed map — visitation order cannot change any total
         for (const auto& [code, n] : group.coded) into.coded[code] += n;
         for (const auto& [key, n] : group.strings) into.strings[key] += n;
         into.total += group.total;
@@ -320,7 +323,7 @@ void AnalysisPlan::Fold(std::vector<Partial>& partials) {
     for (std::size_t s = 0; s < merged.distincts.size(); ++s) {
       merged.distincts[s].coded.merge(other.distincts[s].coded);
       merged.distincts[s].addresses.merge(other.distincts[s].addresses);
-      merged.distincts[s].strings.merge(other.distincts[s].strings);
+      merged.distincts[s].texts.merge(other.distincts[s].texts);
     }
     for (std::size_t s = 0; s < merged.sketches.size(); ++s) {
       merged.sketches[s].Merge(other.sketches[s]);
@@ -343,7 +346,12 @@ void AnalysisPlan::Fold(std::vector<Partial>& partials) {
 
   auto render_group = [this](const Spec& spec, const Partial::Group& group) {
     Aggregation agg;
-    for (const auto& [code, n] : group.coded) {
+    // Sorted emission at the report boundary: coded keys leave the hash
+    // map through an ordered copy, so rendered output can never pick up
+    // hash-iteration order even if a renderer ever collides keys.
+    std::map<std::uint64_t, std::uint64_t> ordered(group.coded.begin(),
+                                                   group.coded.end());
+    for (const auto& [code, n] : ordered) {
       agg.counts[RenderCode(spec.key.kind, code, tag_namer_)] += n;
     }
     for (const auto& [key, n] : group.strings) agg.counts[key] += n;
@@ -387,6 +395,7 @@ void AnalysisPlan::Execute(const capture::CaptureBuffer& records,
   if (workers == 1) {
     Scan(base, base + total, partials[0]);
   } else {
+    // lint:allow(raw-thread): scan workers write disjoint Partial slots and join before Fold; chunk-order reduction keeps results thread-count-invariant
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {

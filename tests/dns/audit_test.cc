@@ -1,0 +1,225 @@
+// Malformed-message corpus for the wire auditor and the Message parser.
+//
+// Every corpus entry is a hand-built byte string violating one RFC 1035
+// structural rule. The parser must reject each without UB (this test runs
+// under the ASan/UBSan matrix in CI), and audit::CheckWire must name a
+// violation. The parser is required to be at least as strict as the
+// auditor — the CLOUDDNS_AUDIT decode hook aborts on any accepted
+// message the auditor rejects, so a divergence is a parser bug by
+// definition, and the mutation fuzzers in message_test.cc sweep for one
+// on every audit-enabled run.
+#include "dns/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace clouddns::dns {
+namespace {
+
+WireBuffer Bytes(std::initializer_list<int> values) {
+  WireBuffer out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+void AppendU16(WireBuffer& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+/// 12-byte header with the given section counts.
+WireBuffer HeaderBytes(std::uint16_t qd, std::uint16_t an, std::uint16_t ns,
+                       std::uint16_t ar) {
+  WireBuffer out;
+  AppendU16(out, 0x1234);  // id
+  AppendU16(out, 0x0000);  // flags
+  AppendU16(out, qd);
+  AppendU16(out, an);
+  AppendU16(out, ns);
+  AppendU16(out, ar);
+  return out;
+}
+
+void Append(WireBuffer& out, const WireBuffer& tail) {
+  out.insert(out.end(), tail.begin(), tail.end());
+}
+
+TEST(WireAuditTest, WellFormedQueryPasses) {
+  Message query = Message::MakeQuery(7, *Name::Parse("www.example.nl"),
+                                     RrType::kA, EdnsInfo{1232, true, 0});
+  WireBuffer wire = query.Encode();
+  EXPECT_EQ(audit::CheckWire(wire), std::nullopt);
+  EXPECT_TRUE(Message::Decode(wire).has_value());
+}
+
+TEST(WireAuditTest, CompressedResponsePasses) {
+  Message query = Message::MakeQuery(7, *Name::Parse("www.example.nl"),
+                                     RrType::kA);
+  Message response = Message::MakeResponse(query);
+  response.answers.push_back(
+      MakeA(*Name::Parse("www.example.nl"), net::Ipv4Address(192, 0, 2, 1), 60));
+  response.authorities.push_back(
+      MakeNs(*Name::Parse("example.nl"), *Name::Parse("ns1.example.nl"), 60));
+  WireBuffer wire = response.Encode();
+  EXPECT_EQ(audit::CheckWire(wire), std::nullopt);
+  EXPECT_TRUE(Message::Decode(wire).has_value());
+}
+
+TEST(WireAuditTest, TruncatedHeaderRejected) {
+  WireBuffer wire = Bytes({0x12, 0x34, 0x00, 0x00, 0x00});
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("header truncated"),
+            std::string::npos);
+}
+
+TEST(WireAuditTest, TruncatedQuestionRejected) {
+  WireBuffer wire = HeaderBytes(1, 0, 0, 0);  // promises a question, has none
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  EXPECT_TRUE(audit::CheckWire(wire).has_value());
+}
+
+TEST(WireAuditTest, SelfReferencingCompressionPointerRejected) {
+  WireBuffer wire = HeaderBytes(1, 0, 0, 0);
+  Append(wire, Bytes({0xc0, 0x0c}));  // pointer to offset 12 = itself
+  AppendU16(wire, 1);                 // qtype A
+  AppendU16(wire, 1);                 // class IN
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("not strictly earlier"),
+            std::string::npos);
+}
+
+TEST(WireAuditTest, PingPongCompressionLoopRejected) {
+  WireBuffer wire = HeaderBytes(1, 0, 0, 0);
+  Append(wire, Bytes({0xc0, 0x0e,    // offset 12 -> 14
+                      0xc0, 0x0c})); // offset 14 -> 12
+  AppendU16(wire, 1);
+  AppendU16(wire, 1);
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  EXPECT_TRUE(audit::CheckWire(wire).has_value());
+}
+
+TEST(WireAuditTest, ReservedLabelTypeRejected) {
+  // Length byte 0x64 sets the reserved 01 high bits (a >63 "label").
+  WireBuffer wire = HeaderBytes(1, 0, 0, 0);
+  Append(wire, Bytes({0x64, 'a', 'b', 0x00}));
+  AppendU16(wire, 1);
+  AppendU16(wire, 1);
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  EXPECT_TRUE(audit::CheckWire(wire).has_value());
+}
+
+TEST(WireAuditTest, OverlongNameRejected) {
+  // Five 63-byte labels: 5 * 64 + 1 = 321 wire bytes, over the 255 cap.
+  WireBuffer wire = HeaderBytes(1, 0, 0, 0);
+  for (int label = 0; label < 5; ++label) {
+    wire.push_back(63);
+    for (int i = 0; i < 63; ++i) wire.push_back('a');
+  }
+  wire.push_back(0);
+  AppendU16(wire, 1);
+  AppendU16(wire, 1);
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("255"), std::string::npos);
+}
+
+TEST(WireAuditTest, RdlengthOverrunRejected) {
+  WireBuffer wire = HeaderBytes(0, 1, 0, 0);
+  wire.push_back(0x00);     // root owner
+  AppendU16(wire, 1);       // type A
+  AppendU16(wire, 1);       // class IN
+  AppendU16(wire, 0);       // ttl hi
+  AppendU16(wire, 60);      // ttl lo
+  AppendU16(wire, 100);     // RDLENGTH far past the end
+  Append(wire, Bytes({1, 2, 3, 4}));
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("RDLENGTH"), std::string::npos);
+}
+
+TEST(WireAuditTest, RdlengthLargerThanEncodedRdataRejectedByParser) {
+  // RDLENGTH says 10 but the NS rdata name is 3 bytes; the parser enforces
+  // exact consumption. Structurally the bytes stay in bounds, so this is
+  // the parser's check rather than the auditor's.
+  WireBuffer wire = HeaderBytes(0, 1, 0, 0);
+  wire.push_back(0x00);  // root owner
+  AppendU16(wire, 2);    // type NS
+  AppendU16(wire, 1);
+  AppendU16(wire, 0);
+  AppendU16(wire, 60);
+  AppendU16(wire, 10);  // RDLENGTH
+  Append(wire, Bytes({0x01, 'a', 0x00, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+}
+
+TEST(WireAuditTest, DuplicateOptRejected) {
+  WireBuffer wire = HeaderBytes(0, 0, 0, 2);
+  for (int i = 0; i < 2; ++i) {
+    wire.push_back(0x00);   // root owner
+    AppendU16(wire, 41);    // OPT
+    AppendU16(wire, 4096);  // class = udp size
+    AppendU16(wire, 0);
+    AppendU16(wire, 0);
+    AppendU16(wire, 0);     // RDLENGTH 0
+  }
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("duplicate OPT"), std::string::npos);
+}
+
+WireBuffer OptInAnswerSection() {
+  WireBuffer wire = HeaderBytes(0, 1, 0, 0);
+  wire.push_back(0x00);
+  AppendU16(wire, 41);
+  AppendU16(wire, 4096);
+  AppendU16(wire, 0);
+  AppendU16(wire, 0);
+  AppendU16(wire, 0);
+  return wire;
+}
+
+WireBuffer OptWithNonRootOwner() {
+  WireBuffer wire = HeaderBytes(0, 0, 0, 1);
+  Append(wire, Bytes({0x01, 'x', 0x00}));  // owner "x." — RFC 6891 violation
+  AppendU16(wire, 41);
+  AppendU16(wire, 4096);
+  AppendU16(wire, 0);
+  AppendU16(wire, 0);
+  AppendU16(wire, 0);
+  return wire;
+}
+
+TEST(WireAuditTest, OptPlacementRejected) {
+  for (const WireBuffer& wire : {OptInAnswerSection(), OptWithNonRootOwner()}) {
+    EXPECT_FALSE(Message::Decode(wire).has_value());
+    ASSERT_TRUE(audit::CheckWire(wire).has_value());
+    EXPECT_NE(audit::CheckWire(wire)->find("OPT"), std::string::npos);
+  }
+}
+
+TEST(WireAuditTest, TrailingBytesRejected) {
+  Message query = Message::MakeQuery(7, *Name::Parse("example.nl"),
+                                     RrType::kA);
+  WireBuffer wire = query.Encode();
+  Append(wire, Bytes({0xde, 0xad}));
+  EXPECT_FALSE(Message::Decode(wire).has_value());
+  ASSERT_TRUE(audit::CheckWire(wire).has_value());
+  EXPECT_NE(audit::CheckWire(wire)->find("trailing"), std::string::npos);
+}
+
+TEST(WireAuditTest, AuditHookAbortsWithDump) {
+  if (!audit::Enabled()) {
+    GTEST_SKIP() << "audit hook not compiled in (build with CLOUDDNS_AUDIT)";
+  }
+  WireBuffer bad = HeaderBytes(1, 0, 0, 0);  // promises a question, has none
+  EXPECT_DEATH(audit::Audit(bad, "audit_test"), "wire audit failure");
+}
+
+}  // namespace
+}  // namespace clouddns::dns

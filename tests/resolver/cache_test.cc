@@ -71,9 +71,9 @@ TEST(DnsCacheTest, OverwriteRefreshesEntry) {
 TEST(DnsCacheTest, TracksHitsAndMisses) {
   DnsCache cache(10);
   cache.Put(N("a.nl"), dns::RrType::kA, Answer(1000));
-  cache.Get(N("a.nl"), dns::RrType::kA, 1);
-  cache.Get(N("a.nl"), dns::RrType::kA, 1);
-  cache.Get(N("b.nl"), dns::RrType::kA, 1);
+  (void)cache.Get(N("a.nl"), dns::RrType::kA, 1);
+  (void)cache.Get(N("a.nl"), dns::RrType::kA, 1);
+  (void)cache.Get(N("b.nl"), dns::RrType::kA, 1);
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 1u);
 }

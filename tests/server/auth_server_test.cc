@@ -248,7 +248,7 @@ TEST(RrlTest, PerSourceIsolation) {
   auto quiet = *net::IpAddress::Parse("10.0.0.2");
 
   sim::TimeUs t = 1'000'000;
-  for (int i = 0; i < 10; ++i) rrl.Allow(noisy, t);
+  for (int i = 0; i < 10; ++i) (void)rrl.Allow(noisy, t);
   EXPECT_TRUE(rrl.Allow(quiet, t));  // unaffected by the noisy source
 }
 

@@ -1,6 +1,6 @@
 // cdnstool — the command-line front end to the clouddns library.
 //
-//   cdnstool simulate  --vantage nl --year 2020 --queries 100000 \
+//   cdnstool simulate  --vantage nl --year 2020 --queries 100000
 //                      --out week.cdns [--anonymize-key K]
 //   cdnstool inspect   week.cdns [--by qtype|rcode|transport|family] [--top N]
 //   cdnstool anonymize in.cdns out.cdns --key K
@@ -329,11 +329,17 @@ int CmdDig(const Args& args) {
   zone::SignZone(nl);
   auto nl_zone = std::make_shared<const zone::Zone>(std::move(nl));
 
-  server::AuthServer root_server{server::AuthServerConfig{0, "root"}};
+  server::AuthServerConfig root_ns_config;
+  root_ns_config.server_id = 0;
+  root_ns_config.name = "root";
+  server::AuthServer root_server{root_ns_config};
   root_server.Serve(root_zone);
   network.RegisterServer(*net::IpAddress::Parse("198.41.0.4"), auth_site,
                          root_server);
-  server::AuthServer nl_server{server::AuthServerConfig{1, "nl"}};
+  server::AuthServerConfig nl_ns_config;
+  nl_ns_config.server_id = 1;
+  nl_ns_config.name = "nl";
+  server::AuthServer nl_server{nl_ns_config};
   nl_server.Serve(nl_zone);
   network.RegisterServer(*net::IpAddress::Parse("194.0.28.1"), auth_site,
                          nl_server);

@@ -1,0 +1,76 @@
+# Self-test for clouddns_lint: seed a scratch tree with known violations
+# and assert the linter (a) fails, (b) reports each violation with the
+# correct file:line, and (c) honours a reasoned lint:allow suppression.
+#
+# Driven by ctest:
+#   cmake -DLINT=<path-to-clouddns_lint> -DWORK=<scratch-dir> -P lint_selftest.cmake
+
+if(NOT LINT OR NOT WORK)
+  message(FATAL_ERROR "pass -DLINT=<linter> and -DWORK=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+# The scratch file sits under a path containing /analysis/ so the
+# emit-path-scoped rules (unordered-iter, float-accumulator) apply.
+set(scratch "${WORK}/src/analysis/scratch.cc")
+
+file(WRITE "${scratch}" "#include <cstdlib>
+#include <unordered_map>
+void Violations() {
+  int a = rand();
+  float shares = 0.0f;
+  std::unordered_map<int, int> counts;
+  for (auto& [k, v] : counts) a += v;
+  int ok = rand();  // lint:allow(no-rand): selftest exercises suppression
+  (void)a; (void)shares; (void)ok;
+}
+")
+
+execute_process(
+  COMMAND "${LINT}" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+
+if(status EQUAL 0)
+  message(FATAL_ERROR "linter passed a tree with seeded violations")
+endif()
+
+foreach(expected
+    "scratch.cc:4: error: .no-rand."
+    "scratch.cc:5: error: .float-accumulator."
+    "scratch.cc:7: error: .unordered-iter.")
+  if(NOT diagnostics MATCHES "${expected}")
+    message(FATAL_ERROR
+      "missing diagnostic matching '${expected}' in:\n${diagnostics}")
+  endif()
+endforeach()
+
+if(diagnostics MATCHES "scratch.cc:8")
+  message(FATAL_ERROR
+    "suppressed line 8 was still reported:\n${diagnostics}")
+endif()
+if(NOT diagnostics MATCHES "1 suppressed")
+  message(FATAL_ERROR
+    "suppression was not counted:\n${diagnostics}")
+endif()
+
+# A suppression without a reason must itself be flagged.
+file(WRITE "${scratch}" "#include <cstdlib>
+void NoReason() {
+  int a = rand();  // lint:allow(no-rand)
+  (void)a;
+}
+")
+execute_process(
+  COMMAND "${LINT}" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0 OR NOT diagnostics MATCHES "bad-suppression")
+  message(FATAL_ERROR
+    "reasonless lint:allow was not rejected:\n${diagnostics}")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "lint selftest passed")
