@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "analysis/calibration.h"
 #include "analysis/dataset_cache.h"
@@ -36,6 +38,18 @@ class BenchRecorder {
   /// Call once per dataset with the number of capture records analyzed.
   void AddQueries(std::uint64_t n) { queries_ += n; }
 
+  /// Appends a bench-specific numeric field to the emitted JSON, so a
+  /// bench can expose its headline result (an amplification factor, a
+  /// ratio, a count) machine-readably next to the timing data.
+  void AddStat(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    stats_.emplace_back(key, buf);
+  }
+  void AddStat(const std::string& key, std::uint64_t value) {
+    stats_.emplace_back(key, std::to_string(value));
+  }
+
   ~BenchRecorder() {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -58,12 +72,15 @@ class BenchRecorder {
                    "  \"queries\": %llu,\n"
                    "  \"queries_per_second\": %.0f,\n"
                    "  \"threads\": %zu,\n"
-                   "  \"peak_rss_mb\": %.1f\n"
-                   "}\n",
+                   "  \"peak_rss_mb\": %.1f",
                    name_.c_str(), wall,
                    static_cast<unsigned long long>(queries_),
                    wall > 0 ? static_cast<double>(queries_) / wall : 0.0,
                    threads, static_cast<double>(usage.ru_maxrss) / 1024.0);
+      for (const auto& [key, value] : stats_) {
+        std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+      }
+      std::fprintf(f, "\n}\n");
       std::fclose(f);
     }
   }
@@ -72,6 +89,7 @@ class BenchRecorder {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t queries_ = 0;
+  std::vector<std::pair<std::string, std::string>> stats_;
 };
 
 inline cloud::ScenarioConfig StandardConfig(cloud::Vantage vantage, int year) {

@@ -8,7 +8,8 @@ namespace clouddns::analysis {
 namespace {
 
 constexpr const char* kMagic = "CLOUDDNSCTX";
-constexpr int kVersion = 1;
+// v2: adds the "robust" line (fleet-wide retry/timeout/failover totals).
+constexpr int kVersion = 2;
 
 // Reads one line and splits off the leading tag; returns false on EOF or
 // tag mismatch. The payload (everything after the tag and one space) lands
@@ -76,6 +77,10 @@ bool SaveScenarioContext(const std::string& path,
   for (const auto& [provider, count] : result.client_queries_per_provider) {
     out << "q " << count << " " << provider << "\n";
   }
+  out << "robust " << result.robustness.upstream_queries << " "
+      << result.robustness.retransmits << " " << result.robustness.timeouts
+      << " " << result.robustness.failovers << " "
+      << result.robustness.served_stale << "\n";
   out << "end\n";
 
   // Write-then-rename so a crashed writer never leaves a torn sidecar that
@@ -225,6 +230,16 @@ bool LoadScenarioContext(const std::string& path,
     std::getline(fields, provider);
     if (!provider.empty() && provider.front() == ' ') provider.erase(0, 1);
     result.client_queries_per_provider[provider] = count;
+  }
+
+  if (!ReadTagged(in, "robust", rest)) return false;
+  {
+    std::istringstream fields(rest);
+    if (!(fields >> result.robustness.upstream_queries >>
+          result.robustness.retransmits >> result.robustness.timeouts >>
+          result.robustness.failovers >> result.robustness.served_stale)) {
+      return false;
+    }
   }
 
   return ReadTagged(in, "end", rest);

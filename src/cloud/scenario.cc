@@ -37,6 +37,11 @@ sim::TimeUs DayStart(int year, unsigned month, unsigned day) {
   return sim::TimeFromCivil({year, month, day});
 }
 
+/// The Fig. 3b .nz cyclic-dependency event window (Feb 3-27 2020); used by
+/// both the workload injection and the kNzEventLoss fault preset.
+sim::TimeUs NzEventStart() { return DayStart(2020, 2, 3); }
+sim::TimeUs NzEventEnd() { return DayStart(2020, 2, 27); }
+
 std::size_t EffectiveThreads(std::size_t configured) {
   if (configured > 0) return configured;
   if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
@@ -80,6 +85,7 @@ class ScenarioRuntime {
 
  private:
   void BuildSites();
+  void MaterializeFaults();
   void BuildZonesAndServers();
   void BuildShardWorlds();
   void BuildFleets();
@@ -110,6 +116,12 @@ class ScenarioRuntime {
 
   std::vector<ShardWorld> shards_;
 
+  /// Materialized fault schedule and its injector. The injector is
+  /// stateless/const after construction, so all shards share one instance;
+  /// decisions key on (site, transport, time, source), never on shard.
+  sim::FaultPlan fault_plan_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+
   std::size_t zone_domain_count_ = 0;
   std::map<std::string, std::size_t> zone_domains_by_tld_;
   std::vector<net::IpAddress> root_v4_, root_v6_;
@@ -131,6 +143,63 @@ void ScenarioRuntime::BuildSites() {
   for (const City& city : kCities) {
     city_sites_.push_back(
         latency_.AddSite({city.label, city.x, city.y, 1.0, 0.0}));
+  }
+}
+
+void ScenarioRuntime::MaterializeFaults() {
+  fault_plan_ = config_.faults;
+  const sim::FaultWindow whole{start_, end_};
+  switch (config_.fault_preset) {
+    case FaultPreset::kNone:
+      break;
+    case FaultPreset::kProviderSiteOutage: {
+      // Withdraw the four busiest (first) sites for the middle third of
+      // the window; anycast re-routes their catchments elsewhere.
+      const sim::TimeUs third = (end_ - start_) / 3;
+      const sim::FaultWindow middle{start_ + third, end_ - third};
+      for (std::size_t s = 0; s < 4 && s < city_sites_.size(); ++s) {
+        fault_plan_.outages.push_back({city_sites_[s], middle});
+      }
+      break;
+    }
+    case FaultPreset::kLossyPath: {
+      sim::LossRule rule;
+      rule.transport = dns::Transport::kUdp;
+      rule.window = whole;
+      rule.query_loss = 0.25;
+      rule.response_loss = 0.15;
+      fault_plan_.loss.push_back(rule);
+      break;
+    }
+    case FaultPreset::kRootBrownout: {
+      sim::Brownout rule;
+      rule.window = whole;
+      rule.servfail_fraction = 0.5;
+      rule.extra_rtt_us = 300'000;
+      fault_plan_.brownouts.push_back(rule);
+      break;
+    }
+    case FaultPreset::kNzEventLoss: {
+      // Clamp the event weeks to the simulated window; outside them the
+      // plane is healthy. The loss is response-heavy on purpose: queries
+      // still reach (and are captured by) the servers, but the answers
+      // die in transit, so every retransmit lands in the capture — the
+      // traffic-creating failure mode behind the Fig. 3b spike.
+      sim::LossRule rule;
+      rule.transport = dns::Transport::kUdp;
+      rule.window = {std::max(start_, NzEventStart()),
+                     std::min(end_, NzEventEnd())};
+      rule.query_loss = 0.05;
+      rule.response_loss = 0.60;
+      if (rule.window.start < rule.window.end) {
+        fault_plan_.loss.push_back(rule);
+      }
+      break;
+    }
+  }
+  if (!fault_plan_.empty()) {
+    injector_ = std::make_unique<sim::FaultInjector>(
+        fault_plan_, sim::SubstreamSeed(config_.seed, 0xfa17ull));
   }
 }
 
@@ -369,6 +438,7 @@ void ScenarioRuntime::BuildShardWorlds() {
     shard.leaf =
         std::make_unique<server::LeafAuthService>(server::LeafAuthConfig{});
     shard.network->SetDefaultRoute(city_sites_[4], *shard.leaf);
+    shard.network->SetFaultInjector(injector_.get());
   }
 }
 
@@ -536,8 +606,8 @@ void ScenarioRuntime::RunShard(std::size_t shard_index) {
   const sim::DiurnalWarp diurnal(start_, end_, config_.diurnal_amplitude);
 
   // The Fig. 3b event window (only meaningful for longitudinal .nz runs).
-  const sim::TimeUs event_start = DayStart(2020, 2, 3);
-  const sim::TimeUs event_end = DayStart(2020, 2, 27);
+  const sim::TimeUs event_start = NzEventStart();
+  const sim::TimeUs event_end = NzEventEnd();
 
   for (std::uint64_t i = 0; i < total + warmup; ++i) {
     // Warmup queries run in the day before the window; captured records
@@ -583,6 +653,7 @@ void ScenarioRuntime::RunShard(std::size_t shard_index) {
 
 ScenarioResult ScenarioRuntime::Run() {
   BuildSites();
+  MaterializeFaults();
   BuildZonesAndServers();
   BuildShardWorlds();
   BuildFleets();
@@ -638,6 +709,13 @@ ScenarioResult ScenarioRuntime::Run() {
     result.ptr_records.insert(result.ptr_records.end(),
                               fleet.ptr_records.begin(),
                               fleet.ptr_records.end());
+    for (const auto& engine : fleet.engines) {
+      result.robustness.upstream_queries += engine->upstream_query_count();
+      result.robustness.retransmits += engine->retransmit_count();
+      result.robustness.timeouts += engine->timeout_count();
+      result.robustness.failovers += engine->failover_count();
+      result.robustness.served_stale += engine->served_stale_count();
+    }
   }
   result.asdb = std::move(asdb_);
   result.google_public = std::move(google_public_);

@@ -17,10 +17,33 @@
 #include "net/asdb.h"
 #include "net/prefix_trie.h"
 #include "sim/clock.h"
+#include "sim/fault.h"
 
 namespace clouddns::cloud {
 
 enum class Vantage { kNl, kNz, kRoot };
+
+/// Canned fault schedules, materialized against the scenario's site list
+/// and capture window in MaterializeFaults(). `faults` in ScenarioConfig
+/// can extend or replace them with hand-built rules.
+enum class FaultPreset {
+  kNone,
+  /// The vantage provider loses its four busiest anycast sites for the
+  /// middle third of the window (withdrawal, BGP-style: traffic re-routes
+  /// to surviving sites).
+  kProviderSiteOutage,
+  /// Persistent lossy transit: 25% query / 15% response loss on every UDP
+  /// path for the whole window.
+  kLossyPath,
+  /// All sites browned out: half of all queries answered SERVFAIL with
+  /// +300 ms of added latency, whole window.
+  kRootBrownout,
+  /// The Feb 3-27 2020 .nz event as a load problem: response-heavy loss
+  /// during the cyclic-dependency weeks. Queries still reach (and are
+  /// captured by) the .nz servers; the lost answers drive the resolver
+  /// retry engine, amplifying the TLD's observed traffic (Fig. 3b).
+  kNzEventLoss,
+};
 
 [[nodiscard]] std::string_view ToString(Vantage vantage);
 
@@ -79,6 +102,25 @@ struct ScenarioConfig {
   bool qmin_override_off = false;
   /// Ablation: disable response rate limiting on the TLD servers.
   bool rrl_override_off = false;
+
+  /// Hand-built fault schedule (loss, outages, spikes, brownouts). Applied
+  /// on top of `fault_preset`. Faults change the traffic realization, so
+  /// both fields participate in the dataset cache key — but only when
+  /// non-empty, keeping every fault-free key (and cache) unchanged.
+  sim::FaultPlan faults;
+  FaultPreset fault_preset = FaultPreset::kNone;
+};
+
+/// Resolver-side robustness totals summed over every engine in the run:
+/// how much extra upstream work the fault schedule induced.
+struct RobustnessCounters {
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t served_stale = 0;
+  friend bool operator==(const RobustnessCounters&,
+                         const RobustnessCounters&) = default;
 };
 
 struct ServerMeta {
@@ -109,6 +151,7 @@ struct ScenarioResult {
 
   std::uint64_t client_queries_issued = 0;
   std::uint64_t leaf_queries = 0;      ///< Uncaptured SLD-auth traffic.
+  RobustnessCounters robustness;       ///< Fleet-wide retry/timeout totals.
   /// Client queries routed to each provider's fleet (calibration aid).
   std::map<std::string, std::uint64_t> client_queries_per_provider;
 };

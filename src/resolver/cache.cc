@@ -46,7 +46,7 @@ const CachedAnswer* DnsCache::Get(const dns::Name& qname, dns::RrType qtype,
   std::string key = AnswerKey(qname, qtype);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.answer.expires_at <= now) {
-    if (it != entries_.end()) {
+    if (it != entries_.end() && !retain_expired_) {
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
     }
@@ -58,11 +58,24 @@ const CachedAnswer* DnsCache::Get(const dns::Name& qname, dns::RrType qtype,
   return &it->second.answer;
 }
 
+const CachedAnswer* DnsCache::GetStale(const dns::Name& qname,
+                                       dns::RrType qtype, sim::TimeUs now,
+                                       sim::TimeUs max_stale) {
+  std::string key = AnswerKey(qname, qtype);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  const sim::TimeUs expires_at = it->second.answer.expires_at;
+  if (expires_at <= now && expires_at + max_stale <= now) return nullptr;
+  ++stale_hits_;
+  Touch(it->second, key);
+  return &it->second.answer;
+}
+
 bool DnsCache::IsNxDomain(const dns::Name& qname, sim::TimeUs now) {
   std::string key = NxKey(qname);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.answer.expires_at <= now) {
-    if (it != entries_.end()) {
+    if (it != entries_.end() && !retain_expired_) {
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
     }

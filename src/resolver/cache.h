@@ -30,9 +30,16 @@ struct CachedAnswer {
 };
 
 /// Positive/negative answer cache with TTL expiry and LRU eviction.
+///
+/// `retain_expired` keeps TTL-expired entries in place (still reported as
+/// misses) instead of erasing them on lookup, so a serve-stale resolver
+/// (RFC 8767) can fall back to them via GetStale() after live resolution
+/// fails. Stale entries remain subject to LRU eviction, so the cache stays
+/// bounded either way.
 class DnsCache {
  public:
-  explicit DnsCache(std::size_t max_entries) : max_entries_(max_entries) {}
+  explicit DnsCache(std::size_t max_entries, bool retain_expired = false)
+      : max_entries_(max_entries), retain_expired_(retain_expired) {}
 
   void Put(const dns::Name& qname, dns::RrType qtype, CachedAnswer answer);
   /// NXDOMAIN entries are stored under the qname alone and match any type.
@@ -42,9 +49,18 @@ class DnsCache {
                                         dns::RrType qtype, sim::TimeUs now);
   [[nodiscard]] bool IsNxDomain(const dns::Name& qname, sim::TimeUs now);
 
+  /// Serve-stale lookup: returns the entry for qname/qtype even when its
+  /// TTL has lapsed, as long as it expired no more than `max_stale` ago.
+  /// Only meaningful with retain_expired; a fresh entry is returned too.
+  [[nodiscard]] const CachedAnswer* GetStale(const dns::Name& qname,
+                                             dns::RrType qtype,
+                                             sim::TimeUs now,
+                                             sim::TimeUs max_stale);
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t stale_hits() const { return stale_hits_; }
 
  private:
   struct Entry {
@@ -56,10 +72,12 @@ class DnsCache {
   void EvictIfNeeded();
 
   std::size_t max_entries_;
+  bool retain_expired_ = false;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t stale_hits_ = 0;
 };
 
 /// What the resolver knows about one delegated zone.

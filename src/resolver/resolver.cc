@@ -67,7 +67,8 @@ RecursiveResolver::RecursiveResolver(sim::Network& network,
                                      std::vector<net::IpAddress> root_v6)
     : network_(&network),
       config_(std::move(config)),
-      cache_(config_.max_cache_entries),
+      cache_(config_.max_cache_entries,
+             /*retain_expired=*/config_.retry.serve_stale_ttl_us > 0),
       rng_(config_.seed) {
   root_.apex = dns::Name{};
   root_.v4_addresses = std::move(root_v4);
@@ -84,9 +85,31 @@ RecursiveResolver::Result RecursiveResolver::Resolve(const dns::Name& qname,
                                                      dns::RrType qtype,
                                                      sim::TimeUs now) {
   int budget = config_.max_upstream_queries;
-  int before = static_cast<int>(upstream_total_);
+  const std::uint64_t upstream_before = upstream_total_;
+  const std::uint64_t retransmits_before = retransmit_total_;
+  const std::uint64_t timeouts_before = timeout_total_;
+  const std::uint64_t failovers_before = failover_total_;
   Result result = ResolveInternal(qname, qtype, now, budget, 0);
-  result.upstream_queries = static_cast<int>(upstream_total_) - before;
+  result.upstream_queries = static_cast<int>(upstream_total_ - upstream_before);
+  result.retransmits = static_cast<int>(retransmit_total_ - retransmits_before);
+  result.timeouts = static_cast<int>(timeout_total_ - timeouts_before);
+  result.failovers = static_cast<int>(failover_total_ - failovers_before);
+  if (result.rcode == dns::Rcode::kServFail && !result.from_cache &&
+      config_.retry.serve_stale_ttl_us > 0) {
+    // RFC 8767 serve-stale: live resolution failed, but a recently expired
+    // answer is better than an error. Fault-era resolvers that deployed
+    // this avoided the full .nz-style retry storms.
+    const CachedAnswer* stale =
+        cache_.GetStale(qname, qtype, now, config_.retry.serve_stale_ttl_us);
+    if (stale != nullptr && stale->rcode != dns::Rcode::kServFail) {
+      result.rcode = stale->rcode;
+      result.records = stale->records;
+      result.from_cache = true;
+      result.served_stale = true;
+      ++served_stale_total_;
+      return result;
+    }
+  }
   if (result.rcode == dns::Rcode::kServFail && !result.from_cache &&
       config_.servfail_cache_ttl > 0) {
     // RFC 2308 §7: cache the failure briefly so a broken domain does not
@@ -288,7 +311,7 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
 
   auto estimate = [this, &host](const net::IpAddress& addr) {
     auto it = srtt_.find(SrttKey(host->site, addr));
-    return it != srtt_.end() ? std::optional<double>(it->second)
+    return it != srtt_.end() ? std::optional<double>(it->second.srtt)
                              : std::nullopt;
   };
 
@@ -347,68 +370,155 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
     }
   }
 
-  // Family choice on the picked server: dual-stack hosts weigh the two
-  // families by smoothed RTT (an unmeasured family inherits the other's
-  // estimate so exploration is unbiased), single-stack hosts have no say.
-  bool use_v6;
-  if (can_v4 && can_v6 && picked->v4 != nullptr && picked->v6 != nullptr) {
-    auto m4 = estimate(*picked->v4);
-    auto m6 = estimate(*picked->v6);
-    double rtt4 = m4.value_or(m6.value_or(kDefaultSrttUs));
-    double rtt6 = m6.value_or(m4.value_or(kDefaultSrttUs));
-    double w4 = std::pow(1.0 / rtt4, config_.family_preference_sharpness);
-    double w6 = std::pow(1.0 / rtt6, config_.family_preference_sharpness) *
-                config_.v6_weight_multiplier;
-    use_v6 = rng_.NextDouble() < w6 / (w4 + w6);
-  } else {
-    use_v6 = !(can_v4 && picked->v4 != nullptr);
+  // Timeout/retry engine. On a lossless network the first transmission is
+  // always answered and none of the machinery below fires — the rng draw
+  // sequence and SRTT arithmetic on that path are exactly the historical
+  // ones, which is what keeps fault-free runs byte-identical.
+  // Retransmissions are charged `elapsed` wait time (the accumulated RTOs)
+  // so retried traffic lands later in the capture, exactly as the
+  // authoritative's vantage point would record it.
+  sim::TimeUs elapsed = 0;
+  std::vector<const Candidate*> tried;
+  const Candidate* current = picked;
+  for (int failover = 0;; ++failover) {
+    tried.push_back(current);
+
+    // Family choice on the current server: dual-stack hosts weigh the two
+    // families by smoothed RTT (an unmeasured family inherits the other's
+    // estimate so exploration is unbiased), single-stack hosts have no say.
+    bool use_v6;
+    if (can_v4 && can_v6 && current->v4 != nullptr &&
+        current->v6 != nullptr) {
+      auto m4 = estimate(*current->v4);
+      auto m6 = estimate(*current->v6);
+      double rtt4 = m4.value_or(m6.value_or(kDefaultSrttUs));
+      double rtt6 = m6.value_or(m4.value_or(kDefaultSrttUs));
+      double w4 = std::pow(1.0 / rtt4, config_.family_preference_sharpness);
+      double w6 = std::pow(1.0 / rtt6, config_.family_preference_sharpness) *
+                  config_.v6_weight_multiplier;
+      use_v6 = rng_.NextDouble() < w6 / (w4 + w6);
+    } else {
+      use_v6 = !(can_v4 && current->v4 != nullptr);
+    }
+    const net::IpAddress* server = use_v6 ? current->v6 : current->v4;
+    net::Endpoint src{
+        use_v6 ? *host->v6 : *host->v4,
+        static_cast<std::uint16_t>(1024 + rng_.NextBelow(60000))};
+
+    std::optional<dns::EdnsInfo> edns;
+    if (config_.edns_udp_size > 0) {
+      edns = dns::EdnsInfo{config_.edns_udp_size, config_.validate_dnssec, 0};
+    }
+    dns::Message query = dns::Message::MakeQuery(
+        static_cast<std::uint16_t>(rng_.Next()), qname, qtype, edns);
+    dns::WireBuffer wire = query.Encode();
+
+    const std::uint64_t srtt_key = SrttKey(host->site, *server);
+    for (int attempt = 0;; ++attempt) {
+      --budget;
+      ++upstream_total_;
+      auto sent = network_->Query(src, host->site, *server,
+                                  dns::Transport::kUdp, wire, now + elapsed);
+      if (sent.delivered()) {
+        if (attempt == 0) {
+          // Karn's algorithm: only first-transmission exchanges feed the
+          // estimator — a retransmitted exchange's RTT is ambiguous.
+          auto it = srtt_.find(srtt_key);
+          if (it == srtt_.end()) {
+            double rtt = static_cast<double>(sent.rtt_us);
+            srtt_.emplace(srtt_key, SrttState{rtt, rtt / 2.0});
+          } else {
+            SrttState& state = it->second;
+            double rtt = static_cast<double>(sent.rtt_us);
+            state.rttvar =
+                0.75 * state.rttvar + 0.25 * std::abs(state.srtt - rtt);
+            state.srtt = 0.75 * state.srtt + 0.25 * rtt;
+          }
+        }
+
+        auto response = dns::Message::Decode(sent.response);
+        if (!response || response->header.id != query.header.id) {
+          return failure;
+        }
+        if (response->header.tc) {
+          // Truncated UDP answer: retry over TCP (RFC 1035 §4.2.2). This
+          // is also the RRL "slip" recovery path.
+          if (budget <= 0) return failure;
+          --budget;
+          ++upstream_total_;
+          auto tcp = network_->Query(src, host->site, *server,
+                                     dns::Transport::kTcp, wire,
+                                     now + elapsed);
+          if (!tcp.delivered()) return failure;
+          response = dns::Message::Decode(tcp.response);
+          if (!response || response->header.id != query.header.id) {
+            return failure;
+          }
+        }
+        Upstream ok;
+        ok.ok = true;
+        ok.response = std::move(*response);
+        return ok;
+      }
+      if (!sent.timed_out()) return failure;  // no route / server dropped
+
+      // Lost query, lost response, or withdrawn site: wait out the RTO,
+      // then retransmit with Karn backoff until this server's attempts or
+      // the overall budget run out.
+      ++timeout_total_;
+      elapsed += RtoFor(srtt_key, attempt);
+      if (attempt < config_.retry.max_retransmits && budget > 0) {
+        ++retransmit_total_;
+        continue;
+      }
+      break;  // server declared unresponsive
+    }
+    PenalizeSrtt(srtt_key);
+
+    if (failover >= config_.retry.max_failovers || budget <= 0) {
+      return failure;
+    }
+    // NS-set failover: try the lowest-SRTT candidate not yet attempted
+    // (the penalty above keeps dead servers at the back of the line for
+    // subsequent resolutions too).
+    const Candidate* next = nullptr;
+    double next_srtt = 0.0;
+    for (const auto& c : candidates) {
+      if (std::find(tried.begin(), tried.end(), &c) != tried.end()) continue;
+      double e = candidate_srtt(c);
+      if (next == nullptr || e < next_srtt) {
+        next = &c;
+        next_srtt = e;
+      }
+    }
+    if (next == nullptr) return failure;  // whole NS set unresponsive
+    ++failover_total_;
+    current = next;
   }
-  const net::IpAddress* server = use_v6 ? picked->v6 : picked->v4;
-  net::Endpoint src{use_v6 ? *host->v6 : *host->v4,
-                    static_cast<std::uint16_t>(1024 + rng_.NextBelow(60000))};
+}
 
-  std::optional<dns::EdnsInfo> edns;
-  if (config_.edns_udp_size > 0) {
-    edns = dns::EdnsInfo{config_.edns_udp_size, config_.validate_dnssec, 0};
-  }
-  dns::Message query = dns::Message::MakeQuery(
-      static_cast<std::uint16_t>(rng_.Next()), qname, qtype, edns);
-  dns::WireBuffer wire = query.Encode();
-
-  --budget;
-  ++upstream_total_;
-  auto sent = network_->Query(src, host->site, *server, dns::Transport::kUdp,
-                             wire, now);
-  if (!sent.delivered) return failure;
-
-  std::uint64_t srtt_key = SrttKey(host->site, *server);
+sim::TimeUs RecursiveResolver::RtoFor(std::uint64_t srtt_key,
+                                      int attempt) const {
+  // RFC 6298 adapted to DNS: RTO = SRTT + 4·RTTVAR, 1 s before any sample,
+  // clamped to the configured band, then doubled per retransmission.
+  double rto_us = 1'000'000.0;
   auto it = srtt_.find(srtt_key);
-  if (it == srtt_.end()) {
-    srtt_.emplace(srtt_key, static_cast<double>(sent.rtt_us));
-  } else {
-    it->second = 0.75 * it->second + 0.25 * static_cast<double>(sent.rtt_us);
+  if (it != srtt_.end()) {
+    rto_us = it->second.srtt + 4.0 * it->second.rttvar;
   }
+  auto rto = static_cast<sim::TimeUs>(rto_us);
+  rto = std::clamp(rto, config_.retry.rto_min_us, config_.retry.rto_max_us);
+  rto <<= std::min(attempt, 10);
+  return std::min(rto, config_.retry.rto_max_us);
+}
 
-  auto response = dns::Message::Decode(sent.response);
-  if (!response || response->header.id != query.header.id) return failure;
-
-  if (response->header.tc) {
-    // Truncated UDP answer: retry over TCP (RFC 1035 §4.2.2). This is also
-    // the RRL "slip" recovery path.
-    if (budget <= 0) return failure;
-    --budget;
-    ++upstream_total_;
-    auto tcp = network_->Query(src, host->site, *server, dns::Transport::kTcp,
-                              wire, now);
-    if (!tcp.delivered) return failure;
-    response = dns::Message::Decode(tcp.response);
-    if (!response || response->header.id != query.header.id) return failure;
-  }
-
-  Upstream ok;
-  ok.ok = true;
-  ok.response = std::move(*response);
-  return ok;
+void RecursiveResolver::PenalizeSrtt(std::uint64_t srtt_key) {
+  auto it = srtt_
+                .try_emplace(srtt_key,
+                             SrttState{kDefaultSrttUs, kDefaultSrttUs / 2.0})
+                .first;
+  it->second.srtt = std::min(it->second.srtt * 2.0,
+                             static_cast<double>(config_.retry.rto_max_us));
 }
 
 ZoneEntry RecursiveResolver::ZoneFromReferral(const dns::Message& response,

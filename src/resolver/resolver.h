@@ -35,6 +35,28 @@ struct EgressHost {
   sim::SiteId site = 0;
 };
 
+/// Timeout/retry policy, active when upstream queries are lost to fault
+/// injection (sim::FaultInjector). On a lossless network none of this ever
+/// fires, so the defaults change nothing for fault-free simulations.
+struct RetryConfig {
+  /// Retransmissions per server after the initial send. Timers follow
+  /// RFC 6298 adapted to DNS: RTO = SRTT + 4·RTTVAR (clamped below),
+  /// doubled per retransmission (Karn backoff), and retransmitted
+  /// exchanges never feed the RTT estimator (Karn's algorithm).
+  int max_retransmits = 2;
+  /// Additional servers of the NS set tried after one is declared
+  /// unresponsive; each unresponsive server's SRTT is penalized so future
+  /// selections deprioritize it.
+  int max_failovers = 2;
+  sim::TimeUs rto_min_us = 300'000;     ///< 300 ms floor (resolver-style).
+  sim::TimeUs rto_max_us = 5'000'000;   ///< 5 s ceiling.
+  /// RFC 8767 serve-stale: when live resolution fails, answer from an
+  /// expired cache entry no older than this bound. 0 disables (the
+  /// study-era behavior: failed resolutions are retried in full, which is
+  /// exactly what amplified the .nz event).
+  sim::TimeUs serve_stale_ttl_us = 0;
+};
+
 struct ResolverConfig {
   std::vector<EgressHost> hosts;
   bool qname_minimization = false;
@@ -69,6 +91,7 @@ struct ResolverConfig {
   /// the study era behaved during the .nz cyclic-dependency event, where
   /// failed resolutions were retried in full (Fig. 3b).
   sim::TimeUs servfail_cache_ttl = 0;
+  RetryConfig retry;
   std::uint64_t seed = 1;
 };
 
@@ -82,7 +105,11 @@ class RecursiveResolver {
   struct Result {
     dns::Rcode rcode = dns::Rcode::kServFail;
     bool from_cache = false;
-    int upstream_queries = 0;
+    int upstream_queries = 0;  ///< Includes retransmits/failover probes.
+    int retransmits = 0;       ///< Timeout-driven duplicate sends.
+    int timeouts = 0;          ///< Upstream exchanges that got no answer.
+    int failovers = 0;         ///< Servers abandoned for a sibling NS.
+    bool served_stale = false;  ///< Answered from an expired entry (8767).
     std::vector<dns::ResourceRecord> records;
   };
 
@@ -98,6 +125,16 @@ class RecursiveResolver {
   [[nodiscard]] const ResolverConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t upstream_query_count() const {
     return upstream_total_;
+  }
+  [[nodiscard]] std::uint64_t retransmit_count() const {
+    return retransmit_total_;
+  }
+  [[nodiscard]] std::uint64_t timeout_count() const { return timeout_total_; }
+  [[nodiscard]] std::uint64_t failover_count() const {
+    return failover_total_;
+  }
+  [[nodiscard]] std::uint64_t served_stale_count() const {
+    return served_stale_total_;
   }
   [[nodiscard]] const NsecRangeCache& nsec_cache() const {
     return nsec_cache_;
@@ -138,6 +175,23 @@ class RecursiveResolver {
 
   ZoneEntry* RootEntry(sim::TimeUs now);
 
+  /// Per-(egress site, server address) RTT estimator state. `srtt` drives
+  /// server/family selection exactly as before; `rttvar` additionally
+  /// feeds the retransmission timer (RTO = srtt + 4·rttvar).
+  struct SrttState {
+    double srtt = 0.0;
+    double rttvar = 0.0;
+  };
+
+  /// Retransmission timeout for one server at the given attempt index
+  /// (Karn backoff: doubles per retransmission), clamped to the
+  /// configured [rto_min, rto_max] band.
+  [[nodiscard]] sim::TimeUs RtoFor(std::uint64_t srtt_key, int attempt) const;
+
+  /// Marks a server unresponsive: doubles its SRTT (capped) so failover
+  /// picks and all future selections deprioritize it.
+  void PenalizeSrtt(std::uint64_t srtt_key);
+
   sim::Network* network_;
   ResolverConfig config_;
   DnsCache cache_;
@@ -149,7 +203,7 @@ class RecursiveResolver {
   /// server address): sites see genuinely different RTTs to the same
   /// anycast service, and mixing their samples into one estimate would
   /// make the dual-stack preference a noise amplifier.
-  std::unordered_map<std::uint64_t, double> srtt_;
+  std::unordered_map<std::uint64_t, SrttState> srtt_;
   [[nodiscard]] static std::uint64_t SrttKey(sim::SiteId site,
                                              const net::IpAddress& addr) {
     return (static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ull) ^
@@ -158,6 +212,10 @@ class RecursiveResolver {
   /// Names currently being resolved, for glueless-cycle detection.
   std::unordered_set<std::string> in_flight_;
   std::uint64_t upstream_total_ = 0;
+  std::uint64_t retransmit_total_ = 0;
+  std::uint64_t timeout_total_ = 0;
+  std::uint64_t failover_total_ = 0;
+  std::uint64_t served_stale_total_ = 0;
 };
 
 }  // namespace clouddns::resolver

@@ -10,7 +10,7 @@ AxfrResult AxfrFetch(sim::Network& network, const net::Endpoint& src,
       dns::Message::MakeQuery(0x5936, apex, dns::RrType::kAxfr);
   auto sent = network.Query(src, src_site, server, dns::Transport::kTcp,
                             query.Encode(), now);
-  if (!sent.delivered) {
+  if (!sent.delivered()) {
     result.error = "no route to server or query dropped";
     return result;
   }

@@ -16,25 +16,52 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
                                    dns::Transport transport,
                                    const dns::WireBuffer& query, TimeUs now) {
   SendResult result;
-  // Anycast catchment: the site with the lowest RTT from the source wins.
-  // The family of the *destination service address* decides which latency
-  // plane (v4 or v6) the packets traverse.
+  // Anycast catchment: the site with the lowest RTT from the source wins,
+  // among sites a fault plan has not withdrawn. The family of the
+  // *destination service address* decides which latency plane (v4 or v6)
+  // the packets traverse.
   const bool ipv6 = dst.is_v6();
   const Instance* best = nullptr;
   std::uint32_t best_rtt = 0;
   auto it = services_.find(dst);
   if (it != services_.end() && !it->second.empty()) {
     for (const Instance& instance : it->second) {
+      if (faults_ != nullptr && faults_->SiteWithdrawn(instance.site, now)) {
+        continue;
+      }
       std::uint32_t rtt = latency_.RttUs(src_site, instance.site, ipv6);
       if (best == nullptr || rtt < best_rtt) {
         best = &instance;
         best_rtt = rtt;
       }
     }
+    if (best == nullptr) {
+      // Every site of the service is withdrawn: packets black-hole.
+      result.status = SendStatus::kTimeout;
+      return result;
+    }
   } else if (default_route_.handler != nullptr) {
+    if (faults_ != nullptr &&
+        faults_->SiteWithdrawn(default_route_.site, now)) {
+      result.status = SendStatus::kTimeout;
+      return result;
+    }
     best = &default_route_;
     best_rtt = latency_.RttUs(src_site, default_route_.site, ipv6);
   } else {
+    return result;  // kNoRoute
+  }
+
+  FaultDecision fate;
+  if (faults_ != nullptr) {
+    fate = faults_->Evaluate(best->site, transport, now, src);
+    best_rtt = static_cast<std::uint32_t>(
+                   static_cast<double>(best_rtt) * fate.rtt_multiplier) +
+               fate.extra_rtt_us;
+  }
+  if (fate.lose_query) {
+    result.status = SendStatus::kLostQuery;
+    result.server_site = best->site;
     return result;
   }
 
@@ -42,6 +69,7 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
   ctx.src = src;
   ctx.transport = transport;
   ctx.server_site = best->site;
+  ctx.brownout_servfail = fate.servfail;
   std::uint32_t total_rtt = best_rtt;
   if (transport == dns::Transport::kTcp) {
     // SYN/SYN-ACK/ACK before the query: one extra round trip, and the
@@ -52,9 +80,20 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
   ctx.time_us = now + total_rtt / 2;
 
   dns::WireBuffer response = best->handler->HandlePacket(ctx, query);
-  if (response.empty()) return result;
+  if (response.empty()) {
+    result.status = SendStatus::kServerDropped;
+    result.server_site = best->site;
+    return result;
+  }
+  if (fate.lose_response) {
+    // The server answered (work done, exchange captured) but the reply
+    // never makes it home.
+    result.status = SendStatus::kLostResponse;
+    result.server_site = best->site;
+    return result;
+  }
 
-  result.delivered = true;
+  result.status = SendStatus::kDelivered;
   result.response = std::move(response);
   result.rtt_us = total_rtt;
   result.server_site = best->site;

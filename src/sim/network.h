@@ -16,6 +16,7 @@
 #include "dns/wire.h"
 #include "net/ip.h"
 #include "sim/clock.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 
 namespace clouddns::sim {
@@ -27,6 +28,9 @@ struct PacketContext {
   TimeUs time_us = 0;          ///< Arrival time at the server.
   std::uint32_t handshake_rtt_us = 0;  ///< TCP only: measured SYN/ACK RTT.
   SiteId server_site = kNoSite;        ///< Which anycast site caught it.
+  /// Fault injection: the site is browned out and must SERVFAIL this
+  /// query (the exchange is still real work and is still captured).
+  bool brownout_servfail = false;
 };
 
 /// Implemented by authoritative servers. Returns response bytes; an empty
@@ -52,11 +56,37 @@ class Network {
   /// traffic the study does not capture. `site` positions it for RTT.
   void SetDefaultRoute(SiteId site, PacketHandler& handler);
 
+  /// Attaches a fault injector; nullptr (the default) is a lossless
+  /// network. The injector is const and stateless, so one instance is
+  /// safely shared by every shard's network.
+  void SetFaultInjector(const FaultInjector* faults) { faults_ = faults; }
+
+  /// Why a Query() did or did not produce a response.
+  enum class SendStatus : std::uint8_t {
+    kDelivered,      ///< Response bytes returned.
+    kNoRoute,        ///< Destination is neither registered nor defaulted.
+    kServerDropped,  ///< Server elected not to answer (RRL, malformed).
+    kLostQuery,      ///< Fault: query lost in flight; no server work done.
+    kLostResponse,   ///< Fault: response lost; server worked and captured.
+    kTimeout,        ///< Fault: every anycast site withdrawn (black hole).
+  };
+
   struct SendResult {
-    bool delivered = false;       ///< False when no route or server dropped it.
+    SendStatus status = SendStatus::kNoRoute;
     dns::WireBuffer response;
     std::uint32_t rtt_us = 0;     ///< Total query->response time.
     SiteId server_site = kNoSite;
+
+    [[nodiscard]] bool delivered() const {
+      return status == SendStatus::kDelivered;
+    }
+    /// Fault outcomes look like a timeout to the sender: it learns
+    /// nothing except that no answer came back.
+    [[nodiscard]] bool timed_out() const {
+      return status == SendStatus::kLostQuery ||
+             status == SendStatus::kLostResponse ||
+             status == SendStatus::kTimeout;
+    }
   };
 
   /// Sends `query` from `src` (at `src_site`) to `dst` over `transport` at
@@ -75,6 +105,7 @@ class Network {
   };
 
   const LatencyModel& latency_;
+  const FaultInjector* faults_ = nullptr;
   std::unordered_map<net::IpAddress, std::vector<Instance>, net::IpAddressHash>
       services_;
   Instance default_route_{kNoSite, nullptr};

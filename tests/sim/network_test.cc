@@ -63,7 +63,7 @@ TEST(NetworkTest, RoutesToRegisteredService) {
   dns::WireBuffer query = {1, 2, 3};
   auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
                               query, 1000);
-  ASSERT_TRUE(result.delivered);
+  ASSERT_TRUE(result.delivered());
   EXPECT_EQ(result.response.size(), 4u);
   EXPECT_EQ(result.server_site, f.near);
   EXPECT_EQ(result.rtt_us, 24000u);
@@ -79,7 +79,7 @@ TEST(NetworkTest, UnknownDestinationFailsWithoutDefaultRoute) {
   auto result = network.Query(src, f.client,
                               *net::IpAddress::Parse("203.0.113.1"),
                               dns::Transport::kUdp, {1}, 0);
-  EXPECT_FALSE(result.delivered);
+  EXPECT_FALSE(result.delivered());
 }
 
 TEST(NetworkTest, DefaultRouteCatchesUnknownDestinations) {
@@ -92,7 +92,7 @@ TEST(NetworkTest, DefaultRouteCatchesUnknownDestinations) {
   auto result = network.Query(src, f.client,
                               *net::IpAddress::Parse("203.0.113.1"),
                               dns::Transport::kUdp, {1}, 0);
-  ASSERT_TRUE(result.delivered);
+  ASSERT_TRUE(result.delivered());
   EXPECT_EQ(result.server_site, f.far);
   EXPECT_EQ(leaf.count, 1);
 }
@@ -110,7 +110,7 @@ TEST(NetworkTest, AnycastPicksNearestSite) {
   net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
   auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
                               {7}, 0);
-  ASSERT_TRUE(result.delivered);
+  ASSERT_TRUE(result.delivered());
   EXPECT_EQ(result.server_site, f.near);
   EXPECT_EQ(near_handler.count, 1);
   EXPECT_EQ(far_handler.count, 0);
@@ -143,7 +143,7 @@ TEST(NetworkTest, DroppedResponseIsNotDelivered) {
   net::Endpoint src{*net::IpAddress::Parse("10.0.0.1"), 5353};
   auto result = network.Query(src, f.client, service, dns::Transport::kUdp,
                               {1}, 0);
-  EXPECT_FALSE(result.delivered);
+  EXPECT_FALSE(result.delivered());
   EXPECT_EQ(handler.count, 1);
 }
 

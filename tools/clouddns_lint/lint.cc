@@ -27,6 +27,12 @@
 //                      simulation code (src/sim, src/cloud): seeds must be
 //                      plumbed (config/ctx seed or SubstreamSeed), never
 //                      invented at the construction site.
+//   fault-rng          Rng constructed in the fault module (src/sim/fault*)
+//                      without SubstreamSeed on the same line: fault
+//                      decisions must be derived per-decision from the
+//                      plumbed substream hierarchy, or a stray stateful
+//                      generator silently breaks the thread-count
+//                      byte-identity contract for fault-enabled runs.
 //
 // Suppression: `// lint:allow(<rule>): <reason>` on the offending line, or
 // on a comment line directly above it. The reason is mandatory; an allow
@@ -372,6 +378,15 @@ class Linter {
            [](const SourceFile& f) {
              return PathContains(f, "/sim/") || PathContains(f, "/cloud/");
            }});
+      rules.push_back(
+          {"fault-rng",
+           std::regex(R"(^(?!.*SubstreamSeed).*\bRng\s*(\w+\s*)?[({])"),
+           "fault-module Rng must be built from sim::SubstreamSeed on the "
+           "construction line; a stateful generator here breaks the "
+           "thread-count byte-identity of fault-enabled runs",
+           [](const SourceFile& f) {
+             return PathContains(f, "/sim/fault");
+           }});
       return rules;
     }();
     for (const LineRule& rule : kRules) {
@@ -422,7 +437,7 @@ class Linter {
 constexpr const char* kRuleNames[] = {
     "no-rand",      "wall-clock",        "unordered-iter",
     "raw-thread",   "float-accumulator", "seed-plumbing",
-    "bad-suppression",
+    "fault-rng",    "bad-suppression",
 };
 
 bool IsSourceFile(const fs::path& path) {

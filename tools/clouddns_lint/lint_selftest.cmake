@@ -55,6 +55,35 @@ if(NOT diagnostics MATCHES "1 suppressed")
     "suppression was not counted:\n${diagnostics}")
 endif()
 
+# The fault-rng rule: Rng construction in the fault module must derive
+# its seed with SubstreamSeed on the construction line. Line 3 (a bare
+# seed) must fire; line 4 (substream-derived) must not.
+set(fault_scratch "${WORK}/src/sim/fault_scratch.cc")
+file(WRITE "${fault_scratch}" "#include <cstdint>
+void FaultRng(std::uint64_t seed) {
+  Rng bad(seed);
+  Rng ok(SubstreamSeed(seed, 1));
+  (void)bad; (void)ok;
+}
+")
+execute_process(
+  COMMAND "${LINT}" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR "linter passed a tree with a fault-rng violation")
+endif()
+if(NOT diagnostics MATCHES "fault_scratch.cc:3: error: .fault-rng.")
+  message(FATAL_ERROR
+    "missing fault-rng diagnostic for line 3 in:\n${diagnostics}")
+endif()
+if(diagnostics MATCHES "fault_scratch.cc:4")
+  message(FATAL_ERROR
+    "SubstreamSeed-derived Rng was wrongly flagged:\n${diagnostics}")
+endif()
+file(REMOVE "${fault_scratch}")
+
 # A suppression without a reason must itself be flagged.
 file(WRITE "${scratch}" "#include <cstdlib>
 void NoReason() {
