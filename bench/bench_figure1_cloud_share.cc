@@ -75,5 +75,26 @@ int main() {
       "\nExpected shape: 5 CPs carry ~30%% of ccTLD queries (Google the\n"
       "largest, and larger at .nl than .nz), but under 10%% of B-Root's —\n"
       "the root's view is dominated by the long tail of other ASes.\n");
+
+  if (bench::ScalingSweepRequested()) {
+    std::vector<cloud::ScenarioResult> datasets;
+    for (cloud::Vantage vantage :
+         {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
+      for (int year : {2018, 2019, 2020}) {
+        datasets.push_back(
+            analysis::LoadOrRun(bench::StandardConfig(vantage, year)));
+      }
+    }
+    bench::RunScalingSweep(
+        "figure1_cloud_share", datasets,
+        [](const cloud::ScenarioResult& result) {
+          std::string out;
+          for (const auto& share : analysis::ComputeCloudShares(result)) {
+            out += std::string(cloud::ToString(share.provider)) + " " +
+                   std::to_string(share.queries) + "\n";
+          }
+          return out;
+        });
+  }
   return 0;
 }

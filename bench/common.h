@@ -8,9 +8,11 @@
 
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 #include <utility>
@@ -24,6 +26,82 @@
 
 namespace clouddns::bench {
 
+/// Heap-allocation counter fed by the replacement operator new below.
+/// Every bench binary is a single translation unit including this header,
+/// so the replacement is defined exactly once per binary.
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace clouddns::bench
+
+// Sanitizer runtimes install their own allocator interposers; skip the
+// counting hook there (the stat reads 0 and is omitted from the JSON).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CLOUDDNS_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CLOUDDNS_BENCH_COUNT_ALLOCS 0
+#else
+#define CLOUDDNS_BENCH_COUNT_ALLOCS 1
+#endif
+#else
+#define CLOUDDNS_BENCH_COUNT_ALLOCS 1
+#endif
+
+#if CLOUDDNS_BENCH_COUNT_ALLOCS
+// Replacement global allocation functions (not inline — [replacement
+// .functions] forbids it). Counting is a relaxed atomic increment, cheap
+// enough to leave on for every bench run. GCC's mismatched-new-delete
+// check pairs the library operator new declaration with our inlined
+// free() and warns, although new/delete here are a consistent
+// malloc/free pair — silence it for these definitions only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  clouddns::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+#endif
+
+namespace clouddns::bench {
+
+/// Resets the kernel's resident-set high-water mark to the current RSS
+/// (write "5" to /proc/self/clear_refs). Called by BenchRecorder at
+/// construction so peak_rss_mb reflects THIS bench's run, not whatever
+/// the process (or a shared fixture) peaked at earlier.
+inline void ResetPeakRss() {
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+}
+
+/// Peak RSS in MiB since the last ResetPeakRss: VmHWM from
+/// /proc/self/status, with getrusage (whole-process high-water, never
+/// reset) as the portable fallback.
+inline double PeakRssMb() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long kb = 0;
+      if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<double>(kb) / 1024.0;
+      }
+    }
+    std::fclose(f);
+  }
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 /// Records a bench run into BENCH_<name>.json (wall time, processed query
 /// volume, thread count, peak RSS) so speedups across commits can be
 /// compared machine-readably. Construct at the top of main(); the file is
@@ -31,7 +109,10 @@ namespace clouddns::bench {
 class BenchRecorder {
  public:
   explicit BenchRecorder(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    ResetPeakRss();
+    alloc_start_ = g_alloc_count.load(std::memory_order_relaxed);
+  }
   BenchRecorder(const BenchRecorder&) = delete;
   BenchRecorder& operator=(const BenchRecorder&) = delete;
 
@@ -61,8 +142,8 @@ class BenchRecorder {
       unsigned long long value = std::strtoull(env, &end, 10);
       if (end != env && value > 0) threads = static_cast<std::size_t>(value);
     }
-    struct rusage usage {};
-    getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is KiB on Linux.
+    const std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - alloc_start_;
     const std::string path = "BENCH_" + name_ + ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fprintf(f,
@@ -76,7 +157,19 @@ class BenchRecorder {
                    name_.c_str(), wall,
                    static_cast<unsigned long long>(queries_),
                    wall > 0 ? static_cast<double>(queries_) / wall : 0.0,
-                   threads, static_cast<double>(usage.ru_maxrss) / 1024.0);
+                   threads, PeakRssMb());
+#if CLOUDDNS_BENCH_COUNT_ALLOCS
+      std::fprintf(f,
+                   ",\n  \"allocations\": %llu,\n"
+                   "  \"allocs_per_query\": %.2f",
+                   static_cast<unsigned long long>(allocs),
+                   queries_ > 0
+                       ? static_cast<double>(allocs) /
+                             static_cast<double>(queries_)
+                       : 0.0);
+#else
+      (void)allocs;
+#endif
       for (const auto& [key, value] : stats_) {
         std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
       }
@@ -88,9 +181,124 @@ class BenchRecorder {
  private:
   std::string name_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t alloc_start_ = 0;
   std::uint64_t queries_ = 0;
   std::vector<std::pair<std::string, std::string>> stats_;
 };
+
+/// One measured point of the thread-scaling sweep.
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double wall_seconds = 0;
+  std::uint64_t queries = 0;
+};
+
+/// The sweep is opt-in: it re-analyzes every dataset 4x, which is noise
+/// for the default single-shot bench run.
+inline bool ScalingSweepRequested() {
+  return std::getenv("CLOUDDNS_SCALING") != nullptr;
+}
+
+/// Rewrites this bench's entries in the shared BENCH_scaling.json (a JSON
+/// array with one object per line), keeping other benches' entries so the
+/// sweep binaries merge into one artifact.
+inline void WriteScalingResults(const std::string& bench_name,
+                                const std::vector<ScalingPoint>& points) {
+  std::vector<std::string> lines;
+  const std::string self_key = "\"name\": \"" + bench_name + "\"";
+  if (std::FILE* f = std::fopen("BENCH_scaling.json", "r")) {
+    char buf[512];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      std::string line(buf);
+      if (line.find("\"name\": ") == std::string::npos) continue;
+      if (line.find(self_key) != std::string::npos) continue;
+      while (!line.empty() &&
+             (line.back() == '\n' || line.back() == '\r' ||
+              line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      lines.push_back(std::move(line));
+    }
+    std::fclose(f);
+  }
+  for (const ScalingPoint& p : points) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"threads\": %zu, "
+                  "\"wall_seconds\": %.3f, \"queries\": %llu, "
+                  "\"queries_per_second\": %.0f}",
+                  bench_name.c_str(), p.threads, p.wall_seconds,
+                  static_cast<unsigned long long>(p.queries),
+                  p.wall_seconds > 0
+                      ? static_cast<double>(p.queries) / p.wall_seconds
+                      : 0.0);
+    lines.emplace_back(buf);
+  }
+  if (std::FILE* f = std::fopen("BENCH_scaling.json", "w")) {
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::fprintf(f, "%s%s\n", lines[i].c_str(),
+                   i + 1 < lines.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+}
+
+/// Runs `analyze` (which must render its full analysis result to a string)
+/// over every dataset at 1/2/4/8 worker threads, asserting the rendered
+/// output is byte-identical across thread counts — the AnalysisPlan's
+/// chunk-ordered merge makes results thread-count-invariant, and this is
+/// the executable form of that contract. Timing per thread count goes to
+/// BENCH_scaling.json.
+template <typename AnalyzeFn>
+void RunScalingSweep(const std::string& bench_name,
+                     const std::vector<cloud::ScenarioResult>& datasets,
+                     AnalyzeFn analyze) {
+  const char* prev = std::getenv("CLOUDDNS_THREADS");
+  const std::string saved = prev != nullptr ? prev : "";
+  std::vector<ScalingPoint> points;
+  std::string baseline;
+  std::printf("\nThread-scaling sweep (CLOUDDNS_SCALING):\n");
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    setenv("CLOUDDNS_THREADS", std::to_string(threads).c_str(), 1);
+    ScalingPoint point;
+    point.threads = threads;
+    std::string rendered;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& dataset : datasets) {
+      rendered += analyze(dataset);
+      point.queries += dataset.records.size();
+    }
+    point.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (baseline.empty()) {
+      baseline = rendered;
+    } else if (rendered != baseline) {
+      std::fprintf(stderr,
+                   "FATAL: %s analysis output at %zu threads differs from "
+                   "the 1-thread rendering — thread-count invariance is "
+                   "broken\n",
+                   bench_name.c_str(), threads);
+      std::abort();
+    }
+    std::printf("  threads=%zu  %8.3fs  %12.0f q/s\n", threads,
+                point.wall_seconds,
+                point.wall_seconds > 0
+                    ? static_cast<double>(point.queries) / point.wall_seconds
+                    : 0.0);
+    points.push_back(point);
+  }
+  if (prev != nullptr) {
+    setenv("CLOUDDNS_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("CLOUDDNS_THREADS");
+  }
+  std::printf("  outputs byte-identical across thread counts\n");
+  WriteScalingResults(bench_name, points);
+}
 
 inline cloud::ScenarioConfig StandardConfig(cloud::Vantage vantage, int year) {
   cloud::ScenarioConfig config;

@@ -45,6 +45,20 @@ entrada::TagFn ProviderTag(const cloud::ScenarioResult& result) {
   };
 }
 
+entrada::AsnTagFn ProviderAsnTag() {
+  std::unordered_map<net::Asn, std::uint16_t> by_asn;
+  for (cloud::Provider provider : cloud::MeasuredProviders()) {
+    for (net::Asn asn : cloud::NetworkOf(provider).ases) {
+      by_asn.emplace(asn, TagOf(provider));
+    }
+  }
+  return [by_asn = std::move(by_asn)](std::optional<net::Asn> asn) {
+    if (!asn) return TagOf(cloud::Provider::kOther);
+    auto it = by_asn.find(*asn);
+    return it == by_asn.end() ? TagOf(cloud::Provider::kOther) : it->second;
+  };
+}
+
 entrada::TagNamer ProviderTagNamer() {
   return [](std::uint16_t tag) {
     return std::string(ToString(static_cast<cloud::Provider>(tag)));
@@ -81,7 +95,8 @@ std::vector<ProviderShare> ComputeCloudShares(
     const cloud::ScenarioResult& result) {
   // One tag-grouped pass replaces a CountIf scan per provider.
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   auto by_provider =
       plan.GroupBy(entrada::FilterSpec::All(), entrada::KeySpec::Tag());
   plan.Execute(result.records);
@@ -108,7 +123,8 @@ std::vector<ProviderShare> ComputeCloudShares(
 
 GoogleSplit ComputeGoogleSplit(const cloud::ScenarioResult& result) {
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   auto is_public = [&result](const capture::CaptureRecord& record) {
     return result.google_public.Lookup(record.src).value_or(false);
   };
@@ -166,7 +182,8 @@ std::map<std::string, double> ComputeRrTypeMix(
 std::map<cloud::Provider, std::map<std::string, double>> ComputeRrTypeMixes(
     const cloud::ScenarioResult& result) {
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   std::map<cloud::Provider, entrada::AnalysisPlan::Handle> handles;
   for (cloud::Provider provider : cloud::MeasuredProviders()) {
     handles[provider] = plan.GroupBy(
@@ -185,7 +202,8 @@ std::map<cloud::Provider, std::map<std::string, double>> ComputeRrTypeMixes(
 std::vector<MonthlyQtypeRow> ComputeMonthlyQtypes(
     const cloud::ScenarioResult& result, cloud::Provider provider) {
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   auto months_handle = plan.GroupByMonth(
       entrada::FilterSpec::Tagged(TagOf(provider)), entrada::KeySpec::Qtype());
   plan.Execute(result.records);
@@ -218,7 +236,8 @@ JunkRatios ComputeJunkRatios(const cloud::ScenarioResult& result) {
   // Two tag-grouped aggregates in one pass replace 2 scans per provider
   // plus 2 for the overall ratio.
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   auto all = plan.GroupBy(entrada::FilterSpec::All(), entrada::KeySpec::Tag());
   auto junk =
       plan.GroupBy(entrada::FilterSpec::Junk(), entrada::KeySpec::Tag());
@@ -274,7 +293,8 @@ std::map<cloud::Provider, TransportMix> ComputeTransportMixes(
   // Four tag-grouped aggregates in one pass replace a full scan per
   // provider.
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   auto v4 = plan.GroupBy(entrada::FilterSpec::V4(), entrada::KeySpec::Tag());
   auto v6 = plan.GroupBy(entrada::FilterSpec::V6(), entrada::KeySpec::Tag());
   auto udp = plan.GroupBy(entrada::FilterSpec::Udp(), entrada::KeySpec::Tag());
@@ -306,7 +326,8 @@ ResolverFamilyCount ComputeResolverFamilies(const cloud::ScenarioResult& result,
                                             cloud::Provider provider) {
   // One pass for both families instead of two filtered distinct scans.
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   entrada::FilterSpec tagged = entrada::FilterSpec::Tagged(TagOf(provider));
   entrada::FilterSpec tagged_v4 = tagged;
   tagged_v4.kind = entrada::FilterSpec::Kind::kV4;
@@ -403,7 +424,8 @@ EdnsStats ComputeEdnsStats(const cloud::ScenarioResult& result,
                            cloud::Provider provider) {
   // CDF + UDP + truncation aggregates in one pass instead of three scans.
   entrada::AnalysisPlan plan;
-  plan.SetTag(ProviderTag(result), ProviderTagNamer());
+  plan.SetAsDatabase(result.asdb);
+  plan.SetAsnTag(ProviderAsnTag(), ProviderTagNamer());
   entrada::FilterSpec udp_tagged =
       entrada::FilterSpec::Tagged(TagOf(provider));
   udp_tagged.kind = entrada::FilterSpec::Kind::kUdp;

@@ -27,6 +27,10 @@ namespace clouddns::analysis {
 /// AS->provider table once instead of walking it per record. The result
 /// must outlive the returned functor.
 [[nodiscard]] entrada::TagFn ProviderTag(const cloud::ScenarioResult& result);
+/// AS-pure variant for AnalysisPlan::SetAsnTag: the plan resolves the
+/// source AS itself (via SetAsDatabase) and memoizes per source address,
+/// so the Table 1 lookup runs once per distinct resolver, not per query.
+[[nodiscard]] entrada::AsnTagFn ProviderAsnTag();
 /// Renders provider tags for report keys ("GOOGLE", ...).
 [[nodiscard]] entrada::TagNamer ProviderTagNamer();
 

@@ -43,7 +43,7 @@ std::optional<std::string> SiteTagFromPtr(const dns::Name& ptr) {
   // "<host>.<site>.<org>.example": the site is the second label after the
   // host, i.e. labels[count-3] counting "example" and the org domain.
   if (ptr.LabelCount() < 4) return std::nullopt;
-  return ptr.Label(ptr.LabelCount() - 3);
+  return std::string(ptr.Label(ptr.LabelCount() - 3));
 }
 
 }  // namespace clouddns::analysis

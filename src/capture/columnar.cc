@@ -1,4 +1,5 @@
 #include "capture/columnar.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 #include <cstdio>
 #include <unordered_map>
@@ -83,15 +84,72 @@ std::optional<net::IpAddress> GetAddress(const std::vector<std::uint8_t>& in,
   return std::nullopt;
 }
 
+/// A borrowed view of one column's bytes with a read cursor. Decoding
+/// walks raw pointers over the loaded file image instead of copying every
+/// column into its own vector first.
+struct Cursor {
+  const std::uint8_t* p = nullptr;
+  const std::uint8_t* end = nullptr;
+
+  [[nodiscard]] bool empty() const { return p == end; }
+
+  [[nodiscard]] std::optional<std::uint64_t> Varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (p == end) return std::nullopt;
+      std::uint8_t byte = *p++;
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+    return std::nullopt;
+  }
+};
+
+std::optional<net::IpAddress> GetAddress(Cursor& c) {
+  if (c.empty()) return std::nullopt;
+  std::uint8_t family = *c.p++;
+  if (family == 4) {
+    if (c.end - c.p < 4) return std::nullopt;
+    std::array<std::uint8_t, 4> bytes{c.p[0], c.p[1], c.p[2], c.p[3]};
+    c.p += 4;
+    return net::IpAddress(net::Ipv4Address::FromBytes(bytes));
+  }
+  if (family == 6) {
+    if (c.end - c.p < 16) return std::nullopt;
+    net::Ipv6Address::Bytes bytes;
+    std::copy(c.p, c.p + 16, bytes.begin());
+    c.p += 16;
+    return net::IpAddress(net::Ipv6Address(bytes));
+  }
+  return std::nullopt;
+}
+
+/// Length-prefixed string as a borrowed view; no std::string is built.
+std::optional<std::string_view> GetStringView(Cursor& c) {
+  auto len = c.Varint();
+  if (!len || static_cast<std::uint64_t>(c.end - c.p) < *len) {
+    return std::nullopt;
+  }
+  std::string_view view(reinterpret_cast<const char*>(c.p),
+                        static_cast<std::size_t>(*len));
+  c.p += *len;
+  return view;
+}
+
+// lint:allow(hot-alloc): dictionary side table, one entry per distinct qname
 void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
   PutVarint(out, s.size());
   out.insert(out.end(), s.begin(), s.end());
 }
 
+// lint:allow(hot-alloc): row-wise legacy codec, off the columnar path.
 std::optional<std::string> GetString(const std::vector<std::uint8_t>& in,
                                      std::size_t& pos) {
   auto len = GetVarint(in, pos);
   if (!len || pos + *len > in.size()) return std::nullopt;
+  // lint:allow(hot-alloc): see above — legacy codec only.
   std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
                 in.begin() + static_cast<std::ptrdiff_t>(pos + *len));
   pos += *len;
@@ -123,7 +181,10 @@ std::vector<std::uint8_t> EncodeColumnar(const CaptureBuffer& records) {
   std::unordered_map<net::IpAddress, std::uint64_t, net::IpAddressHash>
       src_dict;
   std::vector<const net::IpAddress*> src_order;
-  std::unordered_map<std::string, std::uint64_t> qname_dict;
+  // Keyed on the Name itself (cached hash, case-insensitive equality), so
+  // building the dictionary never constructs a ToKey() string.
+  std::unordered_map<dns::Name, std::uint64_t, dns::NameHash, dns::NameEqual>
+      qname_dict;
   std::vector<const dns::Name*> qname_order;
 
   std::int64_t prev_time = 0;
@@ -141,8 +202,7 @@ std::vector<std::uint8_t> EncodeColumnar(const CaptureBuffer& records) {
     PutVarint(columns[kColPort], r.src_port);
     columns[kColFlags].push_back(PackFlags(r));
 
-    auto [q_it, q_new] = qname_dict.try_emplace(r.qname.ToKey(),
-                                                qname_dict.size());
+    auto [q_it, q_new] = qname_dict.try_emplace(r.qname, qname_dict.size());
     if (q_new) qname_order.push_back(&r.qname);
     PutVarint(columns[kColQnameIndex], q_it->second);
 
@@ -158,6 +218,7 @@ std::vector<std::uint8_t> EncodeColumnar(const CaptureBuffer& records) {
   for (const auto* addr : src_order) PutAddress(columns[kColSrcDict], *addr);
   PutVarint(columns[kColQnameDict], qname_order.size());
   for (const auto* name : qname_order) {
+    // lint:allow(hot-alloc): rendered once per distinct qname (dict insert)
     PutString(columns[kColQnameDict], name->ToString());
   }
 
@@ -184,7 +245,7 @@ std::optional<CaptureBuffer> DecodeColumnar(
   auto count = GetVarint(bytes, pos);
   if (!count) return std::nullopt;
 
-  std::vector<std::uint8_t> columns[kColumnCount];
+  Cursor columns[kColumnCount];
   bool seen[kColumnCount] = {};
   while (pos < bytes.size()) {
     std::uint8_t id = bytes[pos++];
@@ -192,8 +253,7 @@ std::optional<CaptureBuffer> DecodeColumnar(
     if (!len || pos + *len > bytes.size()) return std::nullopt;
     if (id >= kColumnCount || seen[id]) return std::nullopt;
     seen[id] = true;
-    columns[id].assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-                       bytes.begin() + static_cast<std::ptrdiff_t>(pos + *len));
+    columns[id] = Cursor{bytes.data() + pos, bytes.data() + pos + *len};
     pos += *len;
   }
   for (bool s : seen) {
@@ -203,24 +263,24 @@ std::optional<CaptureBuffer> DecodeColumnar(
   // Dictionaries first.
   std::vector<net::IpAddress> src_dict;
   {
-    std::size_t p = 0;
-    auto n = GetVarint(columns[kColSrcDict], p);
+    Cursor& c = columns[kColSrcDict];
+    auto n = c.Varint();
     if (!n) return std::nullopt;
     src_dict.reserve(*n);
     for (std::uint64_t i = 0; i < *n; ++i) {
-      auto addr = GetAddress(columns[kColSrcDict], p);
+      auto addr = GetAddress(c);
       if (!addr) return std::nullopt;
       src_dict.push_back(*addr);
     }
   }
   std::vector<dns::Name> qname_dict;
   {
-    std::size_t p = 0;
-    auto n = GetVarint(columns[kColQnameDict], p);
+    Cursor& c = columns[kColQnameDict];
+    auto n = c.Varint();
     if (!n) return std::nullopt;
     qname_dict.reserve(*n);
     for (std::uint64_t i = 0; i < *n; ++i) {
-      auto text = GetString(columns[kColQnameDict], p);
+      auto text = GetStringView(c);
       if (!text) return std::nullopt;
       auto name = dns::Name::Parse(*text);
       if (!name) return std::nullopt;
@@ -230,41 +290,38 @@ std::optional<CaptureBuffer> DecodeColumnar(
 
   CaptureBuffer records;
   records.reserve(*count);
-  std::size_t cursor[kColumnCount] = {};
   std::int64_t prev_time = 0;
   for (std::uint64_t i = 0; i < *count; ++i) {
-    CaptureRecord r;
-    auto time_delta = GetVarint(columns[kColTime], cursor[kColTime]);
-    auto server = GetVarint(columns[kColServer], cursor[kColServer]);
-    auto site = GetVarint(columns[kColSite], cursor[kColSite]);
-    auto src_index = GetVarint(columns[kColSrcIndex], cursor[kColSrcIndex]);
-    auto port = GetVarint(columns[kColPort], cursor[kColPort]);
-    auto qname_index =
-        GetVarint(columns[kColQnameIndex], cursor[kColQnameIndex]);
-    auto qtype = GetVarint(columns[kColQtype], cursor[kColQtype]);
-    auto rcode = GetVarint(columns[kColRcode], cursor[kColRcode]);
-    auto edns = GetVarint(columns[kColEdnsSize], cursor[kColEdnsSize]);
-    auto qsize = GetVarint(columns[kColQuerySize], cursor[kColQuerySize]);
-    auto rsize =
-        GetVarint(columns[kColResponseSize], cursor[kColResponseSize]);
-    auto rtt = GetVarint(columns[kColTcpRtt], cursor[kColTcpRtt]);
+    auto time_delta = columns[kColTime].Varint();
+    auto server = columns[kColServer].Varint();
+    auto site = columns[kColSite].Varint();
+    auto src_index = columns[kColSrcIndex].Varint();
+    auto port = columns[kColPort].Varint();
+    auto qname_index = columns[kColQnameIndex].Varint();
+    auto qtype = columns[kColQtype].Varint();
+    auto rcode = columns[kColRcode].Varint();
+    auto edns = columns[kColEdnsSize].Varint();
+    auto qsize = columns[kColQuerySize].Varint();
+    auto rsize = columns[kColResponseSize].Varint();
+    auto rtt = columns[kColTcpRtt].Varint();
     if (!time_delta || !server || !site || !src_index || !port ||
         !qname_index || !qtype || !rcode || !edns || !qsize || !rsize ||
         !rtt) {
       return std::nullopt;
     }
-    if (cursor[kColFlags] >= columns[kColFlags].size()) return std::nullopt;
+    if (columns[kColFlags].empty()) return std::nullopt;
     if (*src_index >= src_dict.size() || *qname_index >= qname_dict.size()) {
       return std::nullopt;
     }
 
+    CaptureRecord& r = records.emplace_back();
     prev_time += ZigzagDecode(*time_delta);
     r.time_us = static_cast<sim::TimeUs>(prev_time);
     r.server_id = static_cast<std::uint32_t>(*server);
     r.site_id = static_cast<std::uint32_t>(*site);
     r.src = src_dict[*src_index];
     r.src_port = static_cast<std::uint16_t>(*port);
-    UnpackFlags(columns[kColFlags][cursor[kColFlags]++], r);
+    UnpackFlags(*columns[kColFlags].p++, r);
     r.qname = qname_dict[*qname_index];
     r.qtype = static_cast<dns::RrType>(*qtype);
     r.rcode = static_cast<dns::Rcode>(*rcode);
@@ -272,7 +329,6 @@ std::optional<CaptureBuffer> DecodeColumnar(
     r.query_size = static_cast<std::uint16_t>(*qsize);
     r.response_size = static_cast<std::uint16_t>(*rsize);
     r.tcp_handshake_rtt_us = static_cast<std::uint32_t>(*rtt);
-    records.push_back(std::move(r));
   }
   return records;
 }
@@ -289,6 +345,7 @@ std::vector<std::uint8_t> EncodeRowWise(const CaptureBuffer& records) {
     PutAddress(out, r.src);
     PutVarint(out, r.src_port);
     out.push_back(PackFlags(r));
+    // lint:allow(hot-alloc): row-wise legacy codec, off the hot path.
     PutString(out, r.qname.ToString());
     PutVarint(out, static_cast<std::uint16_t>(r.qtype));
     PutVarint(out, static_cast<std::uint8_t>(r.rcode));
@@ -353,6 +410,7 @@ std::optional<CaptureBuffer> DecodeRowWise(
   return records;
 }
 
+// lint:allow(hot-alloc): file path, once per capture file.
 bool WriteCaptureFile(const std::string& path, const CaptureBuffer& records) {
   std::vector<std::uint8_t> bytes = EncodeColumnar(records);
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -362,6 +420,7 @@ bool WriteCaptureFile(const std::string& path, const CaptureBuffer& records) {
   return written == bytes.size();
 }
 
+// lint:allow(hot-alloc): file path, once per capture file.
 std::optional<CaptureBuffer> ReadCaptureFile(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return std::nullopt;

@@ -61,8 +61,9 @@ void EncodeSections(const Message& msg, WireWriter& writer,
   if (msg.edns) MakeOptRecord(*msg.edns).Encode(writer);
 }
 
-WireBuffer EncodeImpl(const Message& msg, bool truncate_sections) {
-  WireBuffer out;
+void EncodeImpl(const Message& msg, bool truncate_sections,
+                WireBuffer& out) {
+  out.clear();
   out.reserve(512);
   WireWriter writer(out);
   writer.WriteU16(msg.header.id);
@@ -83,7 +84,6 @@ WireBuffer EncodeImpl(const Message& msg, bool truncate_sections) {
   }
   EncodeSections(msg, writer, truncate_sections);
   audit::Audit(out, "dns::Message::Encode");
-  return out;
 }
 
 }  // namespace
@@ -91,37 +91,72 @@ WireBuffer EncodeImpl(const Message& msg, bool truncate_sections) {
 Message Message::MakeQuery(std::uint16_t id, const Name& qname, RrType qtype,
                            std::optional<EdnsInfo> edns) {
   Message msg;
-  msg.header.id = id;
-  msg.header.rd = false;  // resolver-to-authoritative queries are iterative
-  msg.questions.push_back(Question{qname, qtype, RrClass::kIn});
-  msg.edns = edns;
+  msg.ResetAsQueryFor(id, qname, qtype, edns);
   return msg;
+}
+
+void Message::ResetAsQueryFor(std::uint16_t id, const Name& qname,
+                              RrType qtype,
+                              const std::optional<EdnsInfo>& edns) {
+  header = Header{};
+  header.id = id;
+  header.rd = false;  // resolver-to-authoritative queries are iterative
+  questions.clear();
+  questions.push_back(Question{qname, qtype, RrClass::kIn});
+  answers.clear();
+  authorities.clear();
+  additionals.clear();
+  this->edns = edns;
 }
 
 Message Message::MakeResponse(const Message& query) {
   Message msg;
-  msg.header.id = query.header.id;
-  msg.header.qr = true;
-  msg.header.opcode = query.header.opcode;
-  msg.header.rd = query.header.rd;
-  msg.questions = query.questions;
-  if (query.edns) {
-    // Echo EDNS with the server's own advertised size.
-    msg.edns = EdnsInfo{4096, query.edns->dnssec_ok, 0};
-  }
+  msg.ResetAsResponseTo(query);
   return msg;
 }
 
-WireBuffer Message::Encode() const { return EncodeImpl(*this, false); }
+void Message::ResetAsResponseTo(const Message& query) {
+  header = Header{};
+  header.id = query.header.id;
+  header.qr = true;
+  header.opcode = query.header.opcode;
+  header.rd = query.header.rd;
+  questions = query.questions;
+  answers.clear();
+  authorities.clear();
+  additionals.clear();
+  edns.reset();
+  if (query.edns) {
+    // Echo EDNS with the server's own advertised size.
+    edns = EdnsInfo{4096, query.edns->dnssec_ok, 0};
+  }
+}
+
+WireBuffer Message::Encode() const {
+  WireBuffer out;
+  EncodeImpl(*this, false, out);
+  return out;
+}
+
+void Message::EncodeInto(WireBuffer& out) const {
+  EncodeImpl(*this, false, out);
+}
 
 WireBuffer Message::EncodeWithLimit(std::size_t limit, bool* truncated) const {
-  WireBuffer full = EncodeImpl(*this, false);
-  if (full.size() <= limit) {
+  WireBuffer out;
+  EncodeWithLimitInto(limit, out, truncated);
+  return out;
+}
+
+void Message::EncodeWithLimitInto(std::size_t limit, WireBuffer& out,
+                                  bool* truncated) const {
+  EncodeImpl(*this, false, out);
+  if (out.size() <= limit) {
     if (truncated) *truncated = false;
-    return full;
+    return;
   }
   if (truncated) *truncated = true;
-  return EncodeImpl(*this, true);
+  EncodeImpl(*this, true, out);
 }
 
 std::optional<Message> Message::Decode(const WireBuffer& wire) {
@@ -130,20 +165,33 @@ std::optional<Message> Message::Decode(const WireBuffer& wire) {
 
 std::optional<Message> Message::Decode(const std::uint8_t* data,
                                        std::size_t size) {
+  Message msg;
+  if (!DecodeInto(data, size, msg)) return std::nullopt;
+  return msg;
+}
+
+bool Message::DecodeInto(const std::uint8_t* data, std::size_t size,
+                         Message& msg) {
+  msg.header = Header{};
+  msg.questions.clear();
+  msg.answers.clear();
+  msg.authorities.clear();
+  msg.additionals.clear();
+  msg.edns.reset();
+
   WireReader reader(data, size);
   std::uint16_t id = 0, flags = 0, qdcount = 0, ancount = 0, nscount = 0,
                 arcount = 0;
   if (!reader.ReadU16(id) || !reader.ReadU16(flags) ||
       !reader.ReadU16(qdcount) || !reader.ReadU16(ancount) ||
       !reader.ReadU16(nscount) || !reader.ReadU16(arcount)) {
-    return std::nullopt;
+    return false;
   }
-  Message msg;
   msg.header = UnpackFlags(id, flags);
 
   for (int i = 0; i < qdcount; ++i) {
     Question q;
-    if (!Question::Decode(reader, q)) return std::nullopt;
+    if (!Question::Decode(reader, q)) return false;
     msg.questions.push_back(std::move(q));
   }
   auto read_records = [&reader](int count,
@@ -157,22 +205,22 @@ std::optional<Message> Message::Decode(const std::uint8_t* data,
   };
   if (!read_records(ancount, msg.answers) ||
       !read_records(nscount, msg.authorities)) {
-    return std::nullopt;
+    return false;
   }
   // RFC 6891 §6.1.1: the OPT pseudo-record lives in the additional
   // section only.
-  for (const auto& section : {msg.answers, msg.authorities}) {
-    for (const auto& rr : section) {
-      if (rr.type == RrType::kOpt) return std::nullopt;
+  for (const auto* section : {&msg.answers, &msg.authorities}) {
+    for (const auto& rr : *section) {
+      if (rr.type == RrType::kOpt) return false;
     }
   }
-  std::vector<ResourceRecord> additionals;
-  if (!read_records(arcount, additionals)) return std::nullopt;
-  for (auto& rr : additionals) {
+  for (int i = 0; i < arcount; ++i) {
+    ResourceRecord rr;
+    if (!ResourceRecord::Decode(reader, rr)) return false;
     if (rr.type == RrType::kOpt) {
-      if (msg.edns) return std::nullopt;  // duplicate OPT is FORMERR
+      if (msg.edns) return false;  // duplicate OPT is FORMERR
       if (rr.name.LabelCount() != 0) {
-        return std::nullopt;  // OPT owner must be root (RFC 6891 §6.1.2)
+        return false;  // OPT owner must be root (RFC 6891 §6.1.2)
       }
       EdnsInfo edns;
       edns.udp_payload_size = static_cast<std::uint16_t>(rr.rclass);
@@ -185,11 +233,11 @@ std::optional<Message> Message::Decode(const std::uint8_t* data,
   }
   // Trailing bytes after the promised record counts are a framing error
   // (and would make re-encoding lossy).
-  if (!reader.AtEnd()) return std::nullopt;
+  if (!reader.AtEnd()) return false;
   // Anything the parser accepts must also satisfy the structural auditor;
   // a divergence here is a parser bug, not bad input.
   audit::Audit(data, size, "dns::Message::Decode (accepted input)");
-  return msg;
+  return true;
 }
 
 std::string Message::ToString() const {

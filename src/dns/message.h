@@ -54,9 +54,23 @@ class Message {
   /// Builds a response skeleton echoing the query's id/question/EDNS.
   static Message MakeResponse(const Message& query);
 
+  /// Resets this message in place to the MakeQuery skeleton, keeping each
+  /// section vector's capacity (reusable-query counterpart of MakeQuery).
+  void ResetAsQueryFor(std::uint16_t id, const Name& qname, RrType qtype,
+                       const std::optional<EdnsInfo>& edns = std::nullopt);
+
+  /// Resets this message in place to the MakeResponse skeleton for `query`,
+  /// keeping each section vector's capacity so a reused response message
+  /// stops allocating once warm.
+  void ResetAsResponseTo(const Message& query);
+
   /// Encodes to wire format with name compression. The OPT record is
   /// synthesized from `edns` into the additional section.
   [[nodiscard]] WireBuffer Encode() const;
+
+  /// Reusable-buffer encode: clears `out` (keeping its capacity) and fills
+  /// it, so steady-state encoding into a pooled buffer never allocates.
+  void EncodeInto(WireBuffer& out) const;
 
   /// Encodes for UDP transport with a payload limit: when the full message
   /// exceeds `limit`, answer/authority/additional sections are dropped and
@@ -65,10 +79,20 @@ class Message {
   [[nodiscard]] WireBuffer EncodeWithLimit(std::size_t limit,
                                            bool* truncated = nullptr) const;
 
+  /// Reusable-buffer variant of EncodeWithLimit.
+  void EncodeWithLimitInto(std::size_t limit, WireBuffer& out,
+                           bool* truncated = nullptr) const;
+
   /// Decodes from wire bytes. Returns nullopt on any malformation.
   static std::optional<Message> Decode(const WireBuffer& wire);
   static std::optional<Message> Decode(const std::uint8_t* data,
                                        std::size_t size);
+
+  /// Reusable-message decode: resets `out` (keeping each section vector's
+  /// capacity) and fills it. Returns false on any malformation, leaving
+  /// `out` in an unspecified but destructible state.
+  [[nodiscard]] static bool DecodeInto(const std::uint8_t* data,
+                                       std::size_t size, Message& out);
 
   /// dig-style multi-line rendering for examples and debugging.
   [[nodiscard]] std::string ToString() const;

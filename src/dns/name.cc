@@ -1,22 +1,107 @@
 #include "dns/name.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace clouddns::dns {
 namespace {
+
+[[nodiscard]] constexpr std::uint8_t LowerByte(std::uint8_t c) {
+  // Label length prefixes are <= 63 and sit below 'A', so lowercasing the
+  // whole flat byte stream never disturbs them.
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c - 'A' + 'a') : c;
+}
 
 bool IsAllowedLabelChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '-' || c == '_';
 }
 
-std::size_t WireLengthOf(const std::vector<std::string>& labels) {
-  std::size_t len = 1;  // terminating root byte
-  for (const auto& label : labels) len += 1 + label.size();
-  return len;
+}  // namespace
+
+void Name::CopyFrom(const Name& other) {
+  hash_ = other.hash_;
+  size_ = other.size_;
+  label_count_ = other.label_count_;
+  if (other.size_ > kInlineCapacity) {
+    auto* heap = new std::uint8_t[kMaxFlatLength];
+    std::memcpy(heap, other.HeapPtr(), other.size_);
+    SetHeapPtr(heap);
+  } else {
+    std::memcpy(storage_, other.storage_, other.size_);
+  }
 }
 
-}  // namespace
+void Name::MoveFrom(Name& other) noexcept {
+  hash_ = other.hash_;
+  size_ = other.size_;
+  label_count_ = other.label_count_;
+  if (other.size_ > kInlineCapacity) {
+    SetHeapPtr(other.HeapPtr());
+    other.size_ = 0;
+    other.label_count_ = 0;
+    other.hash_ = kFnvOffset;
+  } else {
+    std::memcpy(storage_, other.storage_, other.size_);
+  }
+}
+
+void Name::AppendLabelUnchecked(const std::uint8_t* bytes, std::uint8_t len) {
+  const std::size_t new_size = size_ + 1u + len;
+  if (new_size > kInlineCapacity && size_ <= kInlineCapacity) {
+    auto* heap = new std::uint8_t[kMaxFlatLength];
+    std::memcpy(heap, storage_, size_);
+    SetHeapPtr(heap);
+  }
+  std::uint8_t* dst =
+      (new_size > kInlineCapacity ? HeapPtr() : storage_) + size_;
+  *dst = len;
+  std::memcpy(dst + 1, bytes, len);
+  size_ = static_cast<std::uint8_t>(new_size);
+  ++label_count_;
+}
+
+void Name::AppendFlatUnchecked(const std::uint8_t* bytes, std::size_t size,
+                               std::size_t labels) {
+  const std::size_t new_size = size_ + size;
+  if (new_size > kInlineCapacity && size_ <= kInlineCapacity) {
+    auto* heap = new std::uint8_t[kMaxFlatLength];
+    std::memcpy(heap, storage_, size_);
+    SetHeapPtr(heap);
+  }
+  std::uint8_t* dst =
+      (new_size > kInlineCapacity ? HeapPtr() : storage_) + size_;
+  std::memcpy(dst, bytes, size);
+  size_ = static_cast<std::uint8_t>(new_size);
+  label_count_ = static_cast<std::uint8_t>(label_count_ + labels);
+}
+
+std::uint64_t Name::HashFlat(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = kFnvOffset;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= LowerByte(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+bool Name::FlatEquals(const std::uint8_t* a, const std::uint8_t* b,
+                      std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    if (LowerByte(a[i]) != LowerByte(b[i])) return false;
+  }
+  return true;
+}
+
+std::size_t Name::LabelOffsets(std::uint8_t* offsets) const {
+  const std::uint8_t* base = flat();
+  const std::uint8_t* p = base;
+  for (std::size_t i = 0; i < label_count_; ++i) {
+    offsets[i] = static_cast<std::uint8_t>(p - base);
+    p += 1 + *p;
+  }
+  return label_count_;
+}
 
 std::optional<Name> Name::Parse(std::string_view text) {
   if (text.empty()) return std::nullopt;
@@ -24,7 +109,7 @@ std::optional<Name> Name::Parse(std::string_view text) {
   if (text.back() == '.') text.remove_suffix(1);
   if (text.empty()) return std::nullopt;
 
-  std::vector<std::string> labels;
+  Name name;
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t dot = text.find('.', start);
@@ -34,45 +119,72 @@ std::optional<Name> Name::Parse(std::string_view text) {
     for (char c : label) {
       if (!IsAllowedLabelChar(c)) return std::nullopt;
     }
-    labels.emplace_back(label);
+    if (name.size_ + 1u + label.size() > kMaxFlatLength) return std::nullopt;
+    name.AppendLabelUnchecked(
+        reinterpret_cast<const std::uint8_t*>(label.data()),
+        static_cast<std::uint8_t>(label.size()));
     if (dot == std::string_view::npos) break;
     start = dot + 1;
   }
-  if (WireLengthOf(labels) > kMaxWireLength) return std::nullopt;
-  Name name;
-  name.labels_ = std::move(labels);
+  name.RecomputeHash();
   return name;
 }
 
-Name Name::FromLabels(std::vector<std::string> labels) {
+Name Name::FromLabels(const std::vector<std::string>& labels) {
+  Name name;
   for (const auto& label : labels) {
     if (label.empty() || label.size() > kMaxLabelLength) {
       throw std::invalid_argument("Name::FromLabels: bad label");
     }
+    if (name.size_ + 1u + label.size() > kMaxFlatLength) {
+      throw std::invalid_argument("Name::FromLabels: name too long");
+    }
+    name.AppendLabelUnchecked(
+        reinterpret_cast<const std::uint8_t*>(label.data()),
+        static_cast<std::uint8_t>(label.size()));
   }
-  if (WireLengthOf(labels) > kMaxWireLength) {
-    throw std::invalid_argument("Name::FromLabels: name too long");
-  }
-  Name name;
-  name.labels_ = std::move(labels);
+  name.RecomputeHash();
   return name;
 }
 
-std::size_t Name::WireLength() const { return WireLengthOf(labels_); }
+bool Name::Builder::Append(const std::uint8_t* bytes, std::size_t len) {
+  if (len == 0 || len > kMaxLabelLength ||
+      name_.size_ + 1u + len > kMaxFlatLength) {
+    return false;
+  }
+  name_.AppendLabelUnchecked(bytes, static_cast<std::uint8_t>(len));
+  return true;
+}
+
+Name Name::Builder::Take() {
+  name_.RecomputeHash();
+  Name out = std::move(name_);
+  name_ = Name();
+  return out;
+}
+
+std::string_view Name::Label(std::size_t i) const {
+  const std::uint8_t* p = flat();
+  for (; i > 0; --i) {
+    p += 1 + *p;
+  }
+  return {reinterpret_cast<const char*>(p + 1), *p};
+}
 
 Name Name::Parent() const {
-  Name parent;
-  if (labels_.size() > 1) {
-    parent.labels_.assign(labels_.begin() + 1, labels_.end());
-  }
-  return parent;
+  return Suffix(label_count_ > 0 ? label_count_ - 1u : 0u);
 }
 
 Name Name::Suffix(std::size_t count) const {
+  if (count >= label_count_) return *this;
+  const std::uint8_t* p = flat();
+  for (std::size_t skip = label_count_ - count; skip > 0; --skip) {
+    p += 1 + *p;
+  }
   Name suffix;
-  if (count >= labels_.size()) return *this;
-  suffix.labels_.assign(labels_.end() - static_cast<std::ptrdiff_t>(count),
-                        labels_.end());
+  suffix.AppendFlatUnchecked(p, static_cast<std::size_t>(flat() + size_ - p),
+                             count);
+  suffix.RecomputeHash();
   return suffix;
 }
 
@@ -80,62 +192,78 @@ Name Name::Child(std::string_view label) const {
   if (label.empty() || label.size() > kMaxLabelLength) {
     throw std::invalid_argument("Name::Child: bad label");
   }
-  Name child;
-  child.labels_.reserve(labels_.size() + 1);
-  child.labels_.emplace_back(label);
-  child.labels_.insert(child.labels_.end(), labels_.begin(), labels_.end());
-  if (child.WireLength() > kMaxWireLength) {
+  if (size_ + 1u + label.size() > kMaxFlatLength) {
     throw std::invalid_argument("Name::Child: name too long");
   }
+  Name child;
+  child.AppendLabelUnchecked(
+      reinterpret_cast<const std::uint8_t*>(label.data()),
+      static_cast<std::uint8_t>(label.size()));
+  child.AppendFlatUnchecked(flat(), size_, label_count_);
+  child.RecomputeHash();
   return child;
 }
 
 bool Name::IsSubdomainOf(const Name& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  std::size_t offset = labels_.size() - ancestor.labels_.size();
-  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
-    const std::string& mine = labels_[offset + i];
-    const std::string& theirs = ancestor.labels_[i];
-    if (mine.size() != theirs.size()) return false;
-    for (std::size_t j = 0; j < mine.size(); ++j) {
-      if (AsciiLower(mine[j]) != AsciiLower(theirs[j])) return false;
-    }
+  if (ancestor.label_count_ > label_count_ || ancestor.size_ > size_) {
+    return false;
   }
-  return true;
+  // Walk whole labels off the front; a raw byte-suffix match is not enough
+  // because an ASCII digit inside a label can masquerade as a length prefix
+  // and fake a label boundary.
+  const std::uint8_t* p = flat();
+  for (std::size_t skip = label_count_ - ancestor.label_count_; skip > 0;
+       --skip) {
+    p += 1 + *p;
+  }
+  const auto tail = static_cast<std::size_t>(flat() + size_ - p);
+  return tail == ancestor.size_ && FlatEquals(p, ancestor.flat(), tail);
 }
 
 bool Name::Equals(const Name& other) const {
-  return labels_.size() == other.labels_.size() && IsSubdomainOf(other);
+  return hash_ == other.hash_ && size_ == other.size_ &&
+         FlatEquals(flat(), other.flat(), size_);
 }
 
 int Name::Compare(const Name& other) const {
   // RFC 4034 §6.1 canonical ordering: compare label-by-label starting from
   // the least significant (rightmost) label.
-  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  std::uint8_t offs_a[128];
+  std::uint8_t offs_b[128];
+  LabelOffsets(offs_a);
+  other.LabelOffsets(offs_b);
+  const std::uint8_t* base_a = flat();
+  const std::uint8_t* base_b = other.flat();
+  const std::size_t n =
+      std::min<std::size_t>(label_count_, other.label_count_);
   for (std::size_t i = 1; i <= n; ++i) {
-    const std::string& a = labels_[labels_.size() - i];
-    const std::string& b = other.labels_[other.labels_.size() - i];
-    std::size_t m = std::min(a.size(), b.size());
-    for (std::size_t j = 0; j < m; ++j) {
-      int diff = static_cast<unsigned char>(AsciiLower(a[j])) -
-                 static_cast<unsigned char>(AsciiLower(b[j]));
+    const std::uint8_t* a = base_a + offs_a[label_count_ - i];
+    const std::uint8_t* b = base_b + offs_b[other.label_count_ - i];
+    const std::size_t len_a = *a;
+    const std::size_t len_b = *b;
+    const std::size_t m = std::min(len_a, len_b);
+    for (std::size_t j = 1; j <= m; ++j) {
+      int diff = static_cast<int>(LowerByte(a[j])) -
+                 static_cast<int>(LowerByte(b[j]));
       if (diff != 0) return diff < 0 ? -1 : 1;
     }
-    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    if (len_a != len_b) return len_a < len_b ? -1 : 1;
   }
-  if (labels_.size() != other.labels_.size()) {
-    return labels_.size() < other.labels_.size() ? -1 : 1;
+  if (label_count_ != other.label_count_) {
+    return label_count_ < other.label_count_ ? -1 : 1;
   }
   return 0;
 }
 
 std::string Name::ToString() const {
-  if (labels_.empty()) return ".";
+  if (label_count_ == 0) return ".";
   std::string out;
-  out.reserve(WireLength());
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
+  out.reserve(size_);
+  const std::uint8_t* p = flat();
+  for (std::size_t i = 0; i < label_count_; ++i) {
     if (i > 0) out += '.';
-    out += labels_[i];
+    out.append(reinterpret_cast<const char*>(p + 1), *p);
+    p += 1 + *p;
   }
   return out;
 }
@@ -144,19 +272,6 @@ std::string Name::ToKey() const {
   std::string key = ToString();
   for (char& c : key) c = AsciiLower(c);
   return key;
-}
-
-std::size_t NameHash::operator()(const Name& name) const noexcept {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint8_t byte) {
-    h ^= byte;
-    h *= 1099511628211ull;
-  };
-  for (const auto& label : name.labels()) {
-    for (char c : label) mix(static_cast<std::uint8_t>(AsciiLower(c)));
-    mix('.');
-  }
-  return static_cast<std::size_t>(h);
 }
 
 }  // namespace clouddns::dns

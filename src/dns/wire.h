@@ -7,8 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "dns/name.h"
@@ -17,9 +16,48 @@ namespace clouddns::dns {
 
 using WireBuffer = std::vector<std::uint8_t>;
 
+namespace detail {
+
+/// Compression state for one in-flight message encode: an open-addressing
+/// table of (suffix hash -> wire offset of its first occurrence). Entries
+/// are invalidated wholesale by bumping the epoch, so one thread-local
+/// table serves every message a thread encodes without clearing or
+/// reallocating between messages. Matches are verified against the wire
+/// bytes already written (following pointers), so hash collisions cannot
+/// corrupt the encoding.
+struct SuffixTable {
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t epoch = 0;
+    std::uint16_t offset = 0;
+  };
+
+  std::vector<Slot> slots;
+  std::uint32_t epoch = 0;  ///< Slots with a matching epoch are live.
+  std::size_t count = 0;    ///< Live entries in the current epoch.
+  bool busy = false;        ///< Claimed by a live WireWriter.
+
+  void NewEpoch();
+  /// Finds a previously recorded occurrence of the suffix whose flat label
+  /// bytes are [suffix, suffix_end); `wire` is the message written so far.
+  [[nodiscard]] bool Find(std::uint64_t hash, const WireBuffer& wire,
+                          const std::uint8_t* suffix,
+                          const std::uint8_t* suffix_end,
+                          std::uint16_t& offset_out) const;
+  void Insert(std::uint64_t hash, std::uint16_t offset);
+
+ private:
+  void Grow();
+};
+
+}  // namespace detail
+
 class WireWriter {
  public:
-  explicit WireWriter(WireBuffer& out) : out_(out) {}
+  explicit WireWriter(WireBuffer& out);
+  ~WireWriter();
+  WireWriter(const WireWriter&) = delete;
+  WireWriter& operator=(const WireWriter&) = delete;
 
   void WriteU8(std::uint8_t value) { out_.push_back(value); }
   void WriteU16(std::uint16_t value);
@@ -41,9 +79,11 @@ class WireWriter {
 
  private:
   WireBuffer& out_;
-  // Lowercased suffix text -> offset of its first occurrence. Offsets beyond
-  // 0x3fff cannot be pointer targets and are not recorded.
-  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+  // Offsets beyond 0x3fff cannot be pointer targets and are not recorded.
+  // Usually the thread-local table; a writer constructed while another
+  // writer on the same thread is live gets its own (cold path).
+  detail::SuffixTable* table_;
+  std::unique_ptr<detail::SuffixTable> owned_table_;
 };
 
 class WireReader {

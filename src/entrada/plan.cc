@@ -56,31 +56,58 @@ struct MonthCoder {
   std::uint64_t code_ = 0;
 };
 
+/// Per-address memo shared by every record of a worker chunk: the origin
+/// AS and (when an AS-pure tag is installed) the tag. Both are pure
+/// functions of the address, so per-worker caches cannot perturb results.
+struct CachedSrc {
+  std::uint64_t asn_code = kNoAs;
+  std::uint16_t tag = 0;
+};
+using SrcCache =
+    std::unordered_map<net::IpAddress, CachedSrc, net::IpAddressHash>;
+
 /// Lazy per-record derived values, computed at most once per record no
 /// matter how many specs consume them.
 struct RecordCtx {
   const capture::CaptureRecord& r;
   const net::AsDatabase* asdb;
   const TagFn* tag_fn;
+  const AsnTagFn* asn_tag_fn;
+  SrcCache* src_cache;
 
-  bool asn_done = false;
-  std::uint64_t asn_code = kNoAs;
+  const CachedSrc* cached = nullptr;
   bool tag_done = false;
   std::uint16_t tag = 0;
 
-  std::uint64_t AsnCode() {
-    if (!asn_done) {
-      asn_done = true;
-      if (asdb != nullptr) {
-        if (auto asn = asdb->OriginAs(r.src)) asn_code = *asn;
+  const CachedSrc& Cached() {
+    if (cached == nullptr) {
+      auto [it, inserted] = src_cache->try_emplace(r.src);
+      if (inserted) {
+        if (asdb != nullptr) {
+          if (auto asn = asdb->OriginAs(r.src)) it->second.asn_code = *asn;
+        }
+        if (*asn_tag_fn) {
+          it->second.tag = (*asn_tag_fn)(
+              it->second.asn_code == kNoAs
+                  ? std::nullopt
+                  : std::optional<net::Asn>(
+                        static_cast<net::Asn>(it->second.asn_code)));
+        }
       }
+      cached = &it->second;
     }
-    return asn_code;
+    return *cached;
   }
+
+  std::uint64_t AsnCode() { return Cached().asn_code; }
   std::uint16_t Tag() {
     if (!tag_done) {
       tag_done = true;
-      if (*tag_fn) tag = (*tag_fn)(r);
+      if (*tag_fn) {
+        tag = (*tag_fn)(r);
+      } else if (*asn_tag_fn) {
+        tag = Cached().tag;
+      }
     }
     return tag;
   }
@@ -163,6 +190,7 @@ struct AnalysisPlan::Partial {
   std::vector<Hll> sketches;
   std::vector<std::vector<double>> cdf_values;
   MonthCoder month_coder;
+  SrcCache src_cache;
 };
 
 AnalysisPlan::Handle AnalysisPlan::Add(Op op, FilterSpec filter, KeySpec key,
@@ -198,7 +226,8 @@ void AnalysisPlan::Scan(const capture::CaptureRecord* first,
                         Partial& partial) const {
   for (const capture::CaptureRecord* record = first; record != last;
        ++record) {
-    RecordCtx ctx{*record, asdb_, &tag_fn_};
+    RecordCtx ctx{*record, asdb_, &tag_fn_, &asn_tag_fn_,
+                  &partial.src_cache};
     for (const Spec& spec : specs_) {
       if (!Pass(spec.filter, ctx)) continue;
       switch (spec.op) {

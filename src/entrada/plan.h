@@ -113,6 +113,12 @@ struct KeySpec {
 /// owns its source AS. Evaluated lazily, at most once per record, and
 /// shared by every spec that filters or groups on the tag.
 using TagFn = std::function<std::uint16_t(const capture::CaptureRecord&)>;
+/// A tag that is a pure function of the record's source AS (nullopt =
+/// unrouted). Declaring that purity lets the plan memoize the AS lookup
+/// AND the tag per distinct source address — source addresses repeat
+/// thousands of times in a capture, so the per-record cost collapses to
+/// one hash probe.
+using AsnTagFn = std::function<std::uint16_t(std::optional<net::Asn>)>;
 /// Renders a tag value for report keys ("Google", ...).
 using TagNamer = std::function<std::string(std::uint16_t)>;
 
@@ -127,6 +133,13 @@ class AnalysisPlan {
   /// KeySpec::Tag. Must be pure — it runs concurrently on many records.
   void SetTag(TagFn fn, TagNamer namer) {
     tag_fn_ = std::move(fn);
+    tag_namer_ = std::move(namer);
+  }
+  /// AS-pure tag variant: the tag is derived from the source AS alone, so
+  /// the plan caches (AS, tag) per source address. Requires SetAsDatabase.
+  /// A full SetTag, if also present, takes precedence.
+  void SetAsnTag(AsnTagFn fn, TagNamer namer) {
+    asn_tag_fn_ = std::move(fn);
     tag_namer_ = std::move(namer);
   }
 
@@ -179,6 +192,7 @@ class AnalysisPlan {
 
   const net::AsDatabase* asdb_ = nullptr;
   TagFn tag_fn_;
+  AsnTagFn asn_tag_fn_;
   TagNamer tag_namer_;
 
   std::vector<Spec> specs_;

@@ -1,137 +1,249 @@
 #include "resolver/cache.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 namespace clouddns::resolver {
-namespace {
 
-std::string AnswerKey(const dns::Name& qname, dns::RrType qtype) {
-  return qname.ToKey() + "/" + std::string(ToString(qtype));
+std::uint64_t DnsCache::TaggedHash(const dns::Name& qname,
+                                   std::uint32_t tag) {
+  // Fibonacci-style mix of the cached name hash with the type tag, so
+  // qname/A, qname/AAAA and qname/NXDOMAIN land in unrelated slots.
+  std::uint64_t hash = qname.CachedHash();
+  hash ^= 0x9e3779b97f4a7c15ull + tag + (hash << 6) + (hash >> 2);
+  return hash;
 }
 
-std::string NxKey(const dns::Name& qname) { return qname.ToKey() + "/!"; }
+std::uint32_t DnsCache::Find(const dns::Name& qname, std::uint32_t tag) const {
+  return table_.Find(TaggedHash(qname, tag), [&](std::uint32_t index) {
+    const Entry& entry = entries_[index];
+    return entry.tag == tag && entry.name.Equals(qname);
+  });
+}
 
-}  // namespace
+void DnsCache::PutTagged(const dns::Name& qname, std::uint32_t tag,
+                         CachedAnswer answer) {
+  const std::uint32_t existing = Find(qname, tag);
+  if (existing != kNil) {
+    entries_[existing].answer = std::move(answer);
+    Touch(existing);
+    return;
+  }
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& entry = entries_[index];
+  entry.name = qname;
+  entry.hash = TaggedHash(qname, tag);
+  entry.tag = tag;
+  entry.used = true;
+  entry.answer = std::move(answer);
+  table_.Insert(entry.hash, index);
+  ++count_;
+  LruPushFront(index);
+  EvictIfNeeded();
+}
+
+DnsCache::Entry* DnsCache::GetTagged(const dns::Name& qname, std::uint32_t tag,
+                                     sim::TimeUs now) {
+  // Expired entries count as misses; without retain_expired they are
+  // erased on sight. The expired-but-retained case deliberately does not
+  // touch the LRU: only a real (or stale) hit refreshes recency.
+  const std::uint32_t index = Find(qname, tag);
+  if (index == kNil) return nullptr;
+  Entry& entry = entries_[index];
+  if (entry.answer.expires_at <= now) {
+    if (!retain_expired_) EraseEntry(index);
+    return nullptr;
+  }
+  Touch(index);
+  return &entry;
+}
 
 void DnsCache::Put(const dns::Name& qname, dns::RrType qtype,
                    CachedAnswer answer) {
-  std::string key = AnswerKey(qname, qtype);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.answer = std::move(answer);
-    Touch(it->second, key);
-    return;
-  }
-  lru_.push_front(key);
-  entries_.emplace(std::move(key), Entry{std::move(answer), lru_.begin()});
-  EvictIfNeeded();
+  PutTagged(qname, static_cast<std::uint32_t>(qtype), std::move(answer));
 }
 
 void DnsCache::PutNxDomain(const dns::Name& qname, sim::TimeUs expires_at) {
-  std::string key = NxKey(qname);
   CachedAnswer answer;
   answer.rcode = dns::Rcode::kNxDomain;
   answer.expires_at = expires_at;
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.answer = std::move(answer);
-    Touch(it->second, key);
-    return;
-  }
-  lru_.push_front(key);
-  entries_.emplace(std::move(key), Entry{std::move(answer), lru_.begin()});
-  EvictIfNeeded();
+  PutTagged(qname, kNxTag, std::move(answer));
 }
 
 const CachedAnswer* DnsCache::Get(const dns::Name& qname, dns::RrType qtype,
                                   sim::TimeUs now) {
-  std::string key = AnswerKey(qname, qtype);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.answer.expires_at <= now) {
-    if (it != entries_.end() && !retain_expired_) {
-      lru_.erase(it->second.lru_it);
-      entries_.erase(it);
-    }
+  Entry* entry = GetTagged(qname, static_cast<std::uint32_t>(qtype), now);
+  if (entry == nullptr) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  Touch(it->second, key);
-  return &it->second.answer;
+  return &entry->answer;
+}
+
+bool DnsCache::IsNxDomain(const dns::Name& qname, sim::TimeUs now) {
+  return GetTagged(qname, kNxTag, now) != nullptr;
 }
 
 const CachedAnswer* DnsCache::GetStale(const dns::Name& qname,
                                        dns::RrType qtype, sim::TimeUs now,
                                        sim::TimeUs max_stale) {
-  std::string key = AnswerKey(qname, qtype);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  const sim::TimeUs expires_at = it->second.answer.expires_at;
+  const std::uint32_t index = Find(qname, static_cast<std::uint32_t>(qtype));
+  if (index == kNil) return nullptr;
+  Entry& entry = entries_[index];
+  const sim::TimeUs expires_at = entry.answer.expires_at;
   if (expires_at <= now && expires_at + max_stale <= now) return nullptr;
   ++stale_hits_;
-  Touch(it->second, key);
-  return &it->second.answer;
+  Touch(index);
+  return &entry.answer;
 }
 
-bool DnsCache::IsNxDomain(const dns::Name& qname, sim::TimeUs now) {
-  std::string key = NxKey(qname);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.answer.expires_at <= now) {
-    if (it != entries_.end() && !retain_expired_) {
-      lru_.erase(it->second.lru_it);
-      entries_.erase(it);
-    }
-    return false;
+void DnsCache::LruUnlink(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  if (entry.lru_prev != kNil) {
+    entries_[entry.lru_prev].lru_next = entry.lru_next;
+  } else {
+    lru_head_ = entry.lru_next;
   }
-  Touch(it->second, key);
-  return true;
+  if (entry.lru_next != kNil) {
+    entries_[entry.lru_next].lru_prev = entry.lru_prev;
+  } else {
+    lru_tail_ = entry.lru_prev;
+  }
+  entry.lru_prev = kNil;
+  entry.lru_next = kNil;
 }
 
-void DnsCache::Touch(Entry& entry, const std::string& key) {
-  lru_.erase(entry.lru_it);
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
+void DnsCache::LruPushFront(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  entry.lru_prev = kNil;
+  entry.lru_next = lru_head_;
+  if (lru_head_ != kNil) entries_[lru_head_].lru_prev = index;
+  lru_head_ = index;
+  if (lru_tail_ == kNil) lru_tail_ = index;
+}
+
+void DnsCache::Touch(std::uint32_t index) {
+  if (lru_head_ == index) return;
+  LruUnlink(index);
+  LruPushFront(index);
+}
+
+void DnsCache::EraseEntry(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  table_.Erase(entry.hash, [&](std::uint32_t v) { return v == index; });
+  LruUnlink(index);
+  entry.name = dns::Name();
+  entry.answer = CachedAnswer{};
+  entry.used = false;
+  free_.push_back(index);
+  --count_;
 }
 
 void DnsCache::EvictIfNeeded() {
-  while (entries_.size() > max_entries_ && !lru_.empty()) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
+  while (count_ > max_entries_ && lru_tail_ != kNil) {
+    EraseEntry(lru_tail_);
   }
 }
 
 void InfraCache::Put(ZoneEntry entry) {
-  zones_[entry.apex.ToKey()] = std::move(entry);
+  const std::uint64_t hash = entry.apex.CachedHash();
+  const std::uint32_t existing =
+      table_.Find(hash, [&](std::uint32_t index) {
+        return slots_[index].entry.apex.Equals(entry.apex);
+      });
+  if (existing != detail::OpenTable::kNil) {
+    // Overwrite in place: resolver code holds ZoneEntry pointers across
+    // nested Puts, and the deque slot address never changes.
+    slots_[existing].entry = std::move(entry);
+    return;
+  }
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[index].entry = std::move(entry);
+  slots_[index].used = true;
+  table_.Insert(hash, index);
+  ++count_;
+}
+
+ZoneEntry* InfraCache::GetView(std::uint64_t hash, const std::uint8_t* flat,
+                               std::size_t size, sim::TimeUs now) {
+  const std::uint32_t index = table_.Find(hash, [&](std::uint32_t i) {
+    const dns::Name& apex = slots_[i].entry.apex;
+    return apex.FlatSize() == size &&
+           dns::Name::FlatEquals(apex.FlatData(), flat, size);
+  });
+  if (index == detail::OpenTable::kNil) return nullptr;
+  Slot& slot = slots_[index];
+  if (slot.entry.expires_at <= now) {
+    table_.Erase(hash, [&](std::uint32_t v) { return v == index; });
+    slot.entry = ZoneEntry{};
+    slot.used = false;
+    free_.push_back(index);
+    --count_;
+    return nullptr;
+  }
+  return &slot.entry;
 }
 
 ZoneEntry* InfraCache::Get(const dns::Name& apex, sim::TimeUs now) {
-  auto it = zones_.find(apex.ToKey());
-  if (it == zones_.end()) return nullptr;
-  if (it->second.expires_at <= now) {
-    zones_.erase(it);
-    return nullptr;
-  }
-  return &it->second;
+  return GetView(apex.CachedHash(), apex.FlatData(), apex.FlatSize(), now);
 }
 
 ZoneEntry* InfraCache::DeepestEnclosing(const dns::Name& qname,
                                         sim::TimeUs now) {
-  for (std::size_t labels = qname.LabelCount();; --labels) {
-    if (ZoneEntry* entry = Get(qname.Suffix(labels), now)) return entry;
-    if (labels == 0) break;
+  // Every suffix of qname is a trailing slice of its flat bytes, so the
+  // walk from deepest to root just advances a pointer one label at a time
+  // and hashes the remainder — no Suffix() temporaries.
+  const std::uint8_t* p = qname.FlatData();
+  const std::uint8_t* const end = p + qname.FlatSize();
+  for (;;) {
+    const auto size = static_cast<std::size_t>(end - p);
+    if (ZoneEntry* entry = GetView(dns::Name::HashFlat(p, size), p, size,
+                                   now)) {
+      return entry;
+    }
+    if (p == end) break;
+    p += 1 + *p;
   }
   return nullptr;
 }
 
+std::uint32_t NsecRangeCache::FindZone(const dns::Name& apex) const {
+  return table_.Find(apex.CachedHash(), [&](std::uint32_t index) {
+    return zones_[index].apex.Equals(apex);
+  });
+}
+
 void NsecRangeCache::Put(const dns::Name& zone_apex, Range range) {
+  std::uint32_t index = FindZone(zone_apex);
+  if (index == detail::OpenTable::kNil) {
+    index = static_cast<std::uint32_t>(zones_.size());
+    zones_.push_back(ZoneRanges{zone_apex, {}});
+    table_.Insert(zone_apex.CachedHash(), index);
+  }
   // Owner == next is a degenerate (empty) range; owner == qname proofs
   // from NODATA white lies are stored too but can never cover anything.
-  zones_[zone_apex.ToKey()][range.prev] = std::move(range);
+  dns::Name prev = range.prev;
+  zones_[index].ranges[std::move(prev)] = std::move(range);
 }
 
 bool NsecRangeCache::Covers(const dns::Name& zone_apex, const dns::Name& qname,
                             sim::TimeUs now) {
-  auto zone_it = zones_.find(zone_apex.ToKey());
-  if (zone_it == zones_.end()) return false;
-  RangeMap& ranges = zone_it->second;
+  const std::uint32_t index = FindZone(zone_apex);
+  if (index == detail::OpenTable::kNil) return false;
+  RangeMap& ranges = zones_[index].ranges;
   auto it = ranges.upper_bound(qname);  // first range with prev > qname
   if (it == ranges.begin()) return false;
   --it;
@@ -151,7 +263,7 @@ bool NsecRangeCache::Covers(const dns::Name& zone_apex, const dns::Name& qname,
 
 std::size_t NsecRangeCache::size() const {
   std::size_t total = 0;
-  for (const auto& [apex, ranges] : zones_) total += ranges.size();
+  for (const auto& zone : zones_) total += zone.ranges.size();
   return total;
 }
 

@@ -6,14 +6,17 @@
 // and fetched DNSKEYs — which is what makes an iterative resolver send only
 // cache-miss traffic to the authoritatives, the property §2 of the paper
 // leans on ("we only see DNS cache misses").
+//
+// All three caches are keyed on the Name's precomputed hash plus its flat
+// label bytes: lookups never build a ToKey() string. DnsCache additionally
+// threads an intrusive index-based LRU through its entry slab, replacing
+// the old std::list<std::string> whose every touch allocated.
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <map>
 #include <optional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/record.h"
@@ -22,6 +25,95 @@
 #include "sim/clock.h"
 
 namespace clouddns::resolver {
+
+namespace detail {
+
+/// Open-addressing (linear probe, backward-shift deletion) index: maps a
+/// 64-bit hash to a caller-owned 32-bit slot index. The caller resolves
+/// hash collisions through the `eq` predicate, which receives a candidate
+/// value. Starts empty and doubles at 50% load, so the thousands of
+/// per-engine caches in a scenario stay tiny until used.
+class OpenTable {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  template <class Eq>
+  [[nodiscard]] std::uint32_t Find(std::uint64_t hash, Eq&& eq) const {
+    if (slots_.empty()) return kNil;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t idx = static_cast<std::size_t>(hash) & mask;
+         slots_[idx].value != kNil; idx = (idx + 1) & mask) {
+      if (slots_[idx].hash == hash && eq(slots_[idx].value)) {
+        return slots_[idx].value;
+      }
+    }
+    return kNil;
+  }
+
+  /// The (hash, value) pair must not already be present.
+  void Insert(std::uint64_t hash, std::uint32_t value) {
+    if ((count_ + 1) * 2 > slots_.size()) Grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(hash) & mask;
+    while (slots_[idx].value != kNil) idx = (idx + 1) & mask;
+    slots_[idx] = Slot{hash, value};
+    ++count_;
+  }
+
+  /// Removes the entry whose value satisfies `eq`; false if absent.
+  template <class Eq>
+  bool Erase(std::uint64_t hash, Eq&& eq) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t idx = static_cast<std::size_t>(hash) & mask;
+         slots_[idx].value != kNil; idx = (idx + 1) & mask) {
+      if (slots_[idx].hash != hash || !eq(slots_[idx].value)) continue;
+      // Backward-shift deletion keeps probe chains intact without
+      // tombstones: slide later entries into the hole while their ideal
+      // position is at or before it.
+      std::size_t hole = idx;
+      for (std::size_t next = (hole + 1) & mask; slots_[next].value != kNil;
+           next = (next + 1) & mask) {
+        const std::size_t ideal =
+            static_cast<std::size_t>(slots_[next].hash) & mask;
+        if (((next - ideal) & mask) >= ((next - hole) & mask)) {
+          slots_[hole] = slots_[next];
+          hole = next;
+        }
+      }
+      slots_[hole].value = kNil;
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t value = kNil;
+  };
+
+  void Grow() {
+    const std::size_t new_size = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_size, Slot{});
+    const std::size_t mask = new_size - 1;
+    for (const Slot& slot : old) {
+      if (slot.value == kNil) continue;
+      std::size_t idx = static_cast<std::size_t>(slot.hash) & mask;
+      while (slots_[idx].value != kNil) idx = (idx + 1) & mask;
+      slots_[idx] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace detail
 
 struct CachedAnswer {
   dns::Rcode rcode = dns::Rcode::kNoError;
@@ -36,6 +128,10 @@ struct CachedAnswer {
 /// (RFC 8767) can fall back to them via GetStale() after live resolution
 /// fails. Stale entries remain subject to LRU eviction, so the cache stays
 /// bounded either way.
+///
+/// Returned CachedAnswer pointers are invalidated by the next mutating
+/// call (Put/PutNxDomain, or a Get that erases an expired entry) — copy
+/// out what you need before touching the cache again.
 class DnsCache {
  public:
   explicit DnsCache(std::size_t max_entries, bool retain_expired = false)
@@ -57,24 +153,48 @@ class DnsCache {
                                              sim::TimeUs now,
                                              sim::TimeUs max_stale);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t stale_hits() const { return stale_hits_; }
 
  private:
+  static constexpr std::uint32_t kNil = detail::OpenTable::kNil;
+  /// Tag for NXDOMAIN entries; outside the 16-bit qtype space so it can
+  /// never collide with a real type.
+  static constexpr std::uint32_t kNxTag = 0x10000;
+
   struct Entry {
+    dns::Name name;
+    std::uint64_t hash = 0;  ///< Name hash mixed with the tag.
+    std::uint32_t tag = 0;   ///< Qtype value, or kNxTag.
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    bool used = false;
     CachedAnswer answer;
-    std::list<std::string>::iterator lru_it;
   };
 
-  void Touch(Entry& entry, const std::string& key);
+  static std::uint64_t TaggedHash(const dns::Name& qname, std::uint32_t tag);
+  [[nodiscard]] std::uint32_t Find(const dns::Name& qname,
+                                   std::uint32_t tag) const;
+  void PutTagged(const dns::Name& qname, std::uint32_t tag,
+                 CachedAnswer answer);
+  [[nodiscard]] Entry* GetTagged(const dns::Name& qname, std::uint32_t tag,
+                                 sim::TimeUs now);
+  void LruUnlink(std::uint32_t index);
+  void LruPushFront(std::uint32_t index);
+  void Touch(std::uint32_t index);
+  void EraseEntry(std::uint32_t index);
   void EvictIfNeeded();
 
   std::size_t max_entries_;
   bool retain_expired_ = false;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  detail::OpenTable table_;
+  std::size_t count_ = 0;
+  std::uint32_t lru_head_ = kNil;  ///< Most recently used.
+  std::uint32_t lru_tail_ = kNil;  ///< Eviction victim.
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t stale_hits_ = 0;
@@ -93,20 +213,38 @@ struct ZoneEntry {
   sim::TimeUs dnskey_expires_at = 0;
 };
 
+/// Returned ZoneEntry pointers stay valid across later Puts (the resolver
+/// holds one across a recursive resolution that fills the cache): entries
+/// live in a deque and are overwritten in place on re-Put.
 class InfraCache {
  public:
   void Put(ZoneEntry entry);
   [[nodiscard]] ZoneEntry* Get(const dns::Name& apex, sim::TimeUs now);
 
   /// Deepest cached zone at-or-above `qname` that has not expired; the
-  /// resolution walk starts there instead of the root.
+  /// resolution walk starts there instead of the root. Probes suffix
+  /// slices of qname's flat bytes directly — no per-level Name built.
   [[nodiscard]] ZoneEntry* DeepestEnclosing(const dns::Name& qname,
                                             sim::TimeUs now);
 
-  [[nodiscard]] std::size_t size() const { return zones_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
 
  private:
-  std::unordered_map<std::string, ZoneEntry> zones_;
+  struct Slot {
+    ZoneEntry entry;
+    bool used = false;
+  };
+
+  /// Looks up by a flat-byte view (a suffix slice of some name), erasing
+  /// the entry if expired, exactly like the old Get.
+  [[nodiscard]] ZoneEntry* GetView(std::uint64_t hash,
+                                   const std::uint8_t* flat, std::size_t size,
+                                   sim::TimeUs now);
+
+  std::deque<Slot> slots_;  ///< Deque: stable addresses across Puts.
+  std::vector<std::uint32_t> free_;
+  detail::OpenTable table_;
+  std::size_t count_ = 0;
 };
 
 /// Aggressive NSEC cache (RFC 8198): validated denial *ranges* from signed
@@ -141,7 +279,15 @@ class NsecRangeCache {
   };
   using RangeMap = std::map<dns::Name, Range, NameCanonicalLess>;
 
-  std::unordered_map<std::string, RangeMap> zones_;  // key: apex ToKey()
+  struct ZoneRanges {
+    dns::Name apex;
+    RangeMap ranges;
+  };
+
+  [[nodiscard]] std::uint32_t FindZone(const dns::Name& apex) const;
+
+  std::vector<ZoneRanges> zones_;
+  detail::OpenTable table_;
   std::uint64_t hits_ = 0;
 };
 

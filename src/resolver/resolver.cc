@@ -1,4 +1,5 @@
 #include "resolver/resolver.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 #include <algorithm>
 #include <cmath>
@@ -10,22 +11,6 @@ constexpr double kDefaultSrttUs = 50'000.0;  // optimistic prior: 50 ms
 constexpr sim::TimeUs kMaxPositiveTtl = 86'400ull * sim::kMicrosPerSecond;
 constexpr sim::TimeUs kDefaultNegativeTtl = 600ull * sim::kMicrosPerSecond;
 constexpr sim::TimeUs kMaxInfraTtl = 172'800ull * sim::kMicrosPerSecond;
-
-/// Removes a key from the in-flight set on scope exit.
-class InFlightGuard {
- public:
-  InFlightGuard(std::unordered_set<std::string>& set, std::string key)
-      : set_(set), key_(std::move(key)) {
-    set_.insert(key_);
-  }
-  ~InFlightGuard() { set_.erase(key_); }
-  InFlightGuard(const InFlightGuard&) = delete;
-  InFlightGuard& operator=(const InFlightGuard&) = delete;
-
- private:
-  std::unordered_set<std::string>& set_;
-  std::string key_;
-};
 
 sim::TimeUs NegativeTtlFrom(const dns::Message& response) {
   for (const auto& rr : response.authorities) {
@@ -142,12 +127,18 @@ RecursiveResolver::Result RecursiveResolver::ResolveInternal(
     return result;
   }
 
-  std::string flight_key =
-      qname.ToKey() + "/" + std::string(ToString(qtype));
-  if (in_flight_.contains(flight_key)) {
-    return result;  // dependency cycle (e.g. mutually glueless NS)
+  const std::uint64_t flight_hash = qname.CachedHash();
+  for (const InFlight& flight : in_flight_) {
+    if (flight.hash == flight_hash && flight.type == qtype &&
+        flight.name.Equals(qname)) {
+      return result;  // dependency cycle (e.g. mutually glueless NS)
+    }
   }
-  InFlightGuard guard(in_flight_, flight_key);
+  in_flight_.push_back(InFlight{flight_hash, qtype, qname});
+  struct PopGuard {
+    std::vector<InFlight>& stack;
+    ~PopGuard() { stack.pop_back(); }
+  } pop_guard{in_flight_};
 
   ZoneEntry* zone = infra_.DeepestEnclosing(qname, now);
   if (zone == nullptr) zone = RootEntry(now);
@@ -322,11 +313,8 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
   // estimate ranks it); the family is decided afterwards on that server's
   // address pair. Coupling them this way keeps each NS's captured traffic
   // an unbiased sample of the resolver's family mix.
-  struct Candidate {
-    const net::IpAddress* v4 = nullptr;
-    const net::IpAddress* v6 = nullptr;
-  };
-  std::vector<Candidate> candidates;
+  std::vector<Candidate>& candidates = candidates_;
+  candidates.clear();
   const bool paired = can_v4 && can_v6 &&
                       zone.v4_addresses.size() == zone.v6_addresses.size();
   if (paired) {
@@ -362,7 +350,8 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
       for (const auto& c : candidates) {
         best = std::min(best, candidate_srtt(c));
       }
-      std::vector<const Candidate*> band;
+      std::vector<const Candidate*>& band = band_;
+      band.clear();
       for (const auto& c : candidates) {
         if (candidate_srtt(c) <= best * 1.6) band.push_back(&c);
       }
@@ -378,7 +367,8 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
   // so retried traffic lands later in the capture, exactly as the
   // authoritative's vantage point would record it.
   sim::TimeUs elapsed = 0;
-  std::vector<const Candidate*> tried;
+  std::vector<const Candidate*>& tried = tried_;
+  tried.clear();
   const Candidate* current = picked;
   for (int failover = 0;; ++failover) {
     tried.push_back(current);
@@ -409,16 +399,19 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
     if (config_.edns_udp_size > 0) {
       edns = dns::EdnsInfo{config_.edns_udp_size, config_.validate_dnssec, 0};
     }
-    dns::Message query = dns::Message::MakeQuery(
-        static_cast<std::uint16_t>(rng_.Next()), qname, qtype, edns);
-    dns::WireBuffer wire = query.Encode();
+    dns::Message& query = query_msg_;
+    query.ResetAsQueryFor(static_cast<std::uint16_t>(rng_.Next()), qname,
+                          qtype, edns);
+    dns::WireBuffer& wire = query_wire_;
+    query.EncodeInto(wire);
 
     const std::uint64_t srtt_key = SrttKey(host->site, *server);
     for (int attempt = 0;; ++attempt) {
       --budget;
       ++upstream_total_;
-      auto sent = network_->Query(src, host->site, *server,
-                                  dns::Transport::kUdp, wire, now + elapsed);
+      sim::Network::SendResult& sent = send_scratch_;
+      network_->Query(src, host->site, *server, dns::Transport::kUdp, wire,
+                      now + elapsed, sent);
       if (sent.delivered()) {
         if (attempt == 0) {
           // Karn's algorithm: only first-transmission exchanges feed the
@@ -436,28 +429,28 @@ RecursiveResolver::Upstream RecursiveResolver::Send(ZoneEntry& zone,
           }
         }
 
-        auto response = dns::Message::Decode(sent.response);
-        if (!response || response->header.id != query.header.id) {
+        Upstream ok;
+        if (!dns::Message::DecodeInto(sent.response.data(),
+                                      sent.response.size(), ok.response) ||
+            ok.response.header.id != query.header.id) {
           return failure;
         }
-        if (response->header.tc) {
+        if (ok.response.header.tc) {
           // Truncated UDP answer: retry over TCP (RFC 1035 §4.2.2). This
           // is also the RRL "slip" recovery path.
           if (budget <= 0) return failure;
           --budget;
           ++upstream_total_;
-          auto tcp = network_->Query(src, host->site, *server,
-                                     dns::Transport::kTcp, wire,
-                                     now + elapsed);
-          if (!tcp.delivered()) return failure;
-          response = dns::Message::Decode(tcp.response);
-          if (!response || response->header.id != query.header.id) {
+          network_->Query(src, host->site, *server, dns::Transport::kTcp,
+                          wire, now + elapsed, sent);
+          if (!sent.delivered()) return failure;
+          if (!dns::Message::DecodeInto(sent.response.data(),
+                                        sent.response.size(), ok.response) ||
+              ok.response.header.id != query.header.id) {
             return failure;
           }
         }
-        Upstream ok;
         ok.ok = true;
-        ok.response = std::move(*response);
         return ok;
       }
       if (!sent.timed_out()) return failure;  // no route / server dropped

@@ -17,7 +17,6 @@
 
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dns/message.h"
@@ -209,8 +208,30 @@ class RecursiveResolver {
     return (static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ull) ^
            net::IpAddressHash{}(addr);
   }
-  /// Names currently being resolved, for glueless-cycle detection.
-  std::unordered_set<std::string> in_flight_;
+  /// Names currently being resolved, for glueless-cycle detection. The
+  /// recursion is depth-bounded, so this is a tiny LIFO stack scanned by
+  /// cached hash + name equality — no string key is ever built.
+  struct InFlight {
+    std::uint64_t hash = 0;
+    dns::RrType type = dns::RrType::kA;
+    dns::Name name;
+  };
+  std::vector<InFlight> in_flight_;
+  /// Dual-stack server-selection candidates for one upstream send.
+  struct Candidate {
+    const net::IpAddress* v4 = nullptr;
+    const net::IpAddress* v6 = nullptr;
+  };
+  /// Scratch state reused across Send calls (Send never recurses): the
+  /// query message and its encoding, the network exchange result, and the
+  /// server-selection working sets. Their capacity survives between
+  /// upstream exchanges, so the steady-state send path does not allocate.
+  dns::Message query_msg_;
+  dns::WireBuffer query_wire_;
+  sim::Network::SendResult send_scratch_;
+  std::vector<Candidate> candidates_;
+  std::vector<const Candidate*> band_;
+  std::vector<const Candidate*> tried_;
   std::uint64_t upstream_total_ = 0;
   std::uint64_t retransmit_total_ = 0;
   std::uint64_t timeout_total_ = 0;

@@ -1,4 +1,5 @@
 #include "server/auth_server.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 #include "zone/dnssec.h"
 
@@ -95,12 +96,19 @@ void AuthServer::AttachRrsigs(const zone::Zone& zone, const dns::Name& owner,
 }
 
 dns::Message AuthServer::Respond(const dns::Message& query) const {
-  dns::Message response = dns::Message::MakeResponse(query);
+  dns::Message response;
+  RespondInto(query, response);
+  return response;
+}
+
+void AuthServer::RespondInto(const dns::Message& query,
+                             dns::Message& response) const {
+  response.ResetAsResponseTo(query);
   if (query.questions.size() != 1 ||
       query.header.opcode != dns::Opcode::kQuery) {
     response.header.rcode = query.questions.empty() ? dns::Rcode::kFormErr
                                                     : dns::Rcode::kNotImp;
-    return response;
+    return;
   }
   const dns::Question& question = query.questions.front();
   const bool want_dnssec = query.edns && query.edns->dnssec_ok;
@@ -108,7 +116,7 @@ dns::Message AuthServer::Respond(const dns::Message& query) const {
   const zone::Zone* zone = BestZoneFor(question.name);
   if (zone == nullptr) {
     response.header.rcode = dns::Rcode::kRefused;
-    return response;
+    return;
   }
 
   zone::LookupResult result = zone->Lookup(question.name, question.type);
@@ -156,7 +164,6 @@ dns::Message AuthServer::Respond(const dns::Message& query) const {
       response.header.rcode = dns::Rcode::kRefused;
       break;
   }
-  return response;
 }
 
 dns::Message AuthServer::RespondAxfr(const dns::Message& query,
@@ -199,57 +206,60 @@ dns::Message AuthServer::RespondAxfr(const dns::Message& query,
   return response;
 }
 
-dns::WireBuffer AuthServer::HandlePacket(const sim::PacketContext& ctx,
-                                         const dns::WireBuffer& query_wire) {
-  auto query = dns::Message::Decode(query_wire);
-  if (!query || query->header.qr) {
-    return {};  // drop garbage silently, as real servers do
+void AuthServer::HandlePacket(const sim::PacketContext& ctx,
+                              const dns::WireBuffer& query_wire,
+                              dns::WireBuffer& wire) {
+  wire.clear();
+  dns::Message& query = query_scratch_;
+  if (!dns::Message::DecodeInto(query_wire.data(), query_wire.size(), query) ||
+      query.header.qr) {
+    return;  // drop garbage silently, as real servers do
   }
 
-  if (query->questions.size() == 1 &&
-      query->questions.front().type == dns::RrType::kAxfr) {
+  if (query.questions.size() == 1 &&
+      query.questions.front().type == dns::RrType::kAxfr) {
     // Zone transfers bypass RRL/truncation; they are TCP bulk operations
     // and are never part of the captured query stream the study analyzes.
-    return RespondAxfr(*query, ctx).Encode();
+    RespondAxfr(query, ctx).EncodeInto(wire);
+    return;
   }
 
-  dns::Message response;
+  dns::Message& response = response_scratch_;
   bool slipped = false;
   if (ctx.brownout_servfail) {
     // Browned-out site: answer SERVFAIL without the lookup work, bypassing
     // RRL (the failure is ours, not the client's). The exchange is still
     // captured below — overload responses are part of the observed stream.
-    response = dns::Message::MakeResponse(*query);
+    response.ResetAsResponseTo(query);
     response.header.rcode = dns::Rcode::kServFail;
     ++brownout_servfails_;
   } else if (!rrl_.Allow(ctx.src.address, ctx.time_us)) {
     // RRL slip: minimal truncated response; resolver should retry via TCP.
     // TCP queries are never rate-limited (the handshake proves the source).
     if (ctx.transport == dns::Transport::kUdp) {
-      response = dns::Message::MakeResponse(*query);
+      response.ResetAsResponseTo(query);
       response.header.tc = true;
       slipped = true;
     } else {
-      response = Respond(*query);
+      RespondInto(query, response);
     }
   } else {
-    response = Respond(*query);
+    RespondInto(query, response);
   }
 
   std::size_t udp_limit = dns::kClassicUdpLimit;
-  if (query->edns) {
-    udp_limit = std::min<std::size_t>(query->edns->udp_payload_size,
+  if (query.edns) {
+    udp_limit = std::min<std::size_t>(query.edns->udp_payload_size,
                                       config_.max_udp_response);
     udp_limit = std::max(udp_limit, dns::kClassicUdpLimit);
   }
 
   bool truncated = false;
-  dns::WireBuffer wire;
   if (ctx.transport == dns::Transport::kUdp) {
-    wire = response.EncodeWithLimit(udp_limit, &truncated);
+    response.EncodeWithLimitInto(udp_limit, wire, &truncated);
     if (slipped) truncated = true;
   } else {
-    wire = response.Encode();
+    response.EncodeInto(wire);
   }
 
   if (config_.capture_enabled) {
@@ -260,14 +270,14 @@ dns::WireBuffer AuthServer::HandlePacket(const sim::PacketContext& ctx,
     record.src = ctx.src.address;
     record.src_port = ctx.src.port;
     record.transport = ctx.transport;
-    if (!query->questions.empty()) {
-      record.qname = query->questions.front().name;
-      record.qtype = query->questions.front().type;
+    if (!query.questions.empty()) {
+      record.qname = query.questions.front().name;
+      record.qtype = query.questions.front().type;
     }
     record.rcode = response.header.rcode;
-    record.has_edns = query->edns.has_value();
-    record.edns_udp_size = query->edns ? query->edns->udp_payload_size : 0;
-    record.do_bit = query->edns && query->edns->dnssec_ok;
+    record.has_edns = query.edns.has_value();
+    record.edns_udp_size = query.edns ? query.edns->udp_payload_size : 0;
+    record.do_bit = query.edns && query.edns->dnssec_ok;
     record.tc = truncated;
     record.query_size = static_cast<std::uint16_t>(query_wire.size());
     record.response_size = static_cast<std::uint16_t>(wire.size());
@@ -275,7 +285,6 @@ dns::WireBuffer AuthServer::HandlePacket(const sim::PacketContext& ctx,
         ctx.transport == dns::Transport::kTcp ? ctx.handshake_rtt_us : 0;
     capture_.push_back(std::move(record));
   }
-  return wire;
 }
 
 }  // namespace clouddns::server

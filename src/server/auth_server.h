@@ -41,9 +41,13 @@ class AuthServer final : public sim::PacketHandler {
   /// server. When several apexes enclose a qname the deepest wins.
   void Serve(std::shared_ptr<const zone::Zone> zone);
 
-  /// sim::PacketHandler: full query->response cycle plus capture.
-  dns::WireBuffer HandlePacket(const sim::PacketContext& ctx,
-                               const dns::WireBuffer& query) override;
+  /// sim::PacketHandler: full query->response cycle plus capture. Decodes
+  /// into and responds from member scratch messages, so serving a query at
+  /// steady state does not allocate.
+  void HandlePacket(const sim::PacketContext& ctx,
+                    const dns::WireBuffer& query,
+                    dns::WireBuffer& response) override;
+  using sim::PacketHandler::HandlePacket;
 
   /// Builds the response message for a decoded query (exposed for tests;
   /// no truncation or capture applied here).
@@ -63,6 +67,8 @@ class AuthServer final : public sim::PacketHandler {
 
  private:
   [[nodiscard]] const zone::Zone* BestZoneFor(const dns::Name& qname) const;
+  /// Fills `response` (reset first, section capacity kept) for `query`.
+  void RespondInto(const dns::Message& query, dns::Message& response) const;
   [[nodiscard]] dns::Message RespondAxfr(const dns::Message& query,
                                          const sim::PacketContext& ctx) const;
   void AttachRrsigs(const zone::Zone& zone, const dns::Name& owner,
@@ -74,6 +80,10 @@ class AuthServer final : public sim::PacketHandler {
   ResponseRateLimiter rrl_;
   capture::CaptureBuffer capture_;
   std::uint64_t brownout_servfails_ = 0;
+  /// Per-packet scratch reused across HandlePacket calls; their section
+  /// vectors keep capacity, so decode/respond stop allocating once warm.
+  dns::Message query_scratch_;
+  dns::Message response_scratch_;
 };
 
 }  // namespace clouddns::server

@@ -1,4 +1,5 @@
 #include "server/leaf_auth.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 #include "zone/dnssec.h"
 
@@ -6,10 +7,26 @@ namespace clouddns::server {
 namespace {
 
 std::uint64_t NameHash(const dns::Name& name) {
+  // FNV-1a over the lowercased presentation form ("www.example.nl", root
+  // is "."), streamed straight off the flat label bytes so no ToKey()
+  // string is built. The dot separators are hashed explicitly to keep the
+  // synthetic addresses identical to the original key-based hash.
   std::uint64_t h = 1469598103934665603ull;
-  for (char c : name.ToKey()) {
+  auto mix = [&h](char c) {
     h ^= static_cast<std::uint8_t>(c);
     h *= 1099511628211ull;
+  };
+  if (name.IsRoot()) {
+    mix('.');
+    return h;
+  }
+  const std::uint8_t* p = name.FlatData();
+  for (std::size_t i = 0; i < name.LabelCount(); ++i) {
+    if (i > 0) mix('.');
+    for (std::uint8_t j = 1; j <= *p; ++j) {
+      mix(dns::AsciiLower(static_cast<char>(p[j])));
+    }
+    p += 1 + *p;
   }
   return h;
 }
@@ -44,10 +61,17 @@ bool LeafAuthService::HasV6(const dns::Name& name) const {
 }
 
 dns::Message LeafAuthService::Respond(const dns::Message& query) const {
-  dns::Message response = dns::Message::MakeResponse(query);
+  dns::Message response;
+  RespondInto(query, response);
+  return response;
+}
+
+void LeafAuthService::RespondInto(const dns::Message& query,
+                                  dns::Message& response) const {
+  response.ResetAsResponseTo(query);
   if (query.questions.size() != 1) {
     response.header.rcode = dns::Rcode::kFormErr;
-    return response;
+    return;
   }
   const dns::Question& question = query.questions.front();
   response.header.aa = true;
@@ -104,25 +128,31 @@ dns::Message LeafAuthService::Respond(const dns::Message& query) const {
       nodata();
       break;
   }
-  return response;
 }
 
-dns::WireBuffer LeafAuthService::HandlePacket(const sim::PacketContext& ctx,
-                                              const dns::WireBuffer& query) {
+void LeafAuthService::HandlePacket(const sim::PacketContext& ctx,
+                                   const dns::WireBuffer& query,
+                                   dns::WireBuffer& wire) {
+  wire.clear();
   ++handled_;
-  auto decoded = dns::Message::Decode(query);
-  if (!decoded || decoded->header.qr) return {};
-  dns::Message response = Respond(*decoded);
+  dns::Message& decoded = query_scratch_;
+  if (!dns::Message::DecodeInto(query.data(), query.size(), decoded) ||
+      decoded.header.qr) {
+    return;
+  }
+  dns::Message& response = response_scratch_;
+  RespondInto(decoded, response);
   if (ctx.transport == dns::Transport::kUdp) {
     std::size_t limit = dns::kClassicUdpLimit;
-    if (decoded->edns) {
-      limit = std::min<std::size_t>(decoded->edns->udp_payload_size,
+    if (decoded.edns) {
+      limit = std::min<std::size_t>(decoded.edns->udp_payload_size,
                                     config_.max_udp_response);
       limit = std::max(limit, dns::kClassicUdpLimit);
     }
-    return response.EncodeWithLimit(limit);
+    response.EncodeWithLimitInto(limit, wire);
+    return;
   }
-  return response.Encode();
+  response.EncodeInto(wire);
 }
 
 }  // namespace clouddns::server

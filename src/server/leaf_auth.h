@@ -23,8 +23,10 @@ class LeafAuthService final : public sim::PacketHandler {
  public:
   explicit LeafAuthService(LeafAuthConfig config) : config_(config) {}
 
-  dns::WireBuffer HandlePacket(const sim::PacketContext& ctx,
-                               const dns::WireBuffer& query) override;
+  void HandlePacket(const sim::PacketContext& ctx,
+                    const dns::WireBuffer& query,
+                    dns::WireBuffer& response) override;
+  using sim::PacketHandler::HandlePacket;
 
   /// Response construction, exposed for tests.
   [[nodiscard]] dns::Message Respond(const dns::Message& query) const;
@@ -37,9 +39,13 @@ class LeafAuthService final : public sim::PacketHandler {
 
  private:
   [[nodiscard]] bool HasV6(const dns::Name& name) const;
+  void RespondInto(const dns::Message& query, dns::Message& response) const;
 
   LeafAuthConfig config_;
   std::uint64_t handled_ = 0;
+  /// Per-packet scratch reused across HandlePacket calls.
+  dns::Message query_scratch_;
+  dns::Message response_scratch_;
 };
 
 }  // namespace clouddns::server

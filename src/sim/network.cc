@@ -1,4 +1,5 @@
 #include "sim/network.h"
+// lint:hot-path — on the per-query serve/capture path (DESIGN.md §10).
 
 namespace clouddns::sim {
 
@@ -11,11 +12,14 @@ void Network::SetDefaultRoute(SiteId site, PacketHandler& handler) {
   default_route_ = Instance{site, &handler};
 }
 
-Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
-                                   const net::IpAddress& dst,
-                                   dns::Transport transport,
-                                   const dns::WireBuffer& query, TimeUs now) {
-  SendResult result;
+void Network::Query(const net::Endpoint& src, SiteId src_site,
+                    const net::IpAddress& dst, dns::Transport transport,
+                    const dns::WireBuffer& query, TimeUs now,
+                    SendResult& result) {
+  result.status = SendStatus::kNoRoute;
+  result.response.clear();
+  result.rtt_us = 0;
+  result.server_site = kNoSite;
   // Anycast catchment: the site with the lowest RTT from the source wins,
   // among sites a fault plan has not withdrawn. The family of the
   // *destination service address* decides which latency plane (v4 or v6)
@@ -38,18 +42,18 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
     if (best == nullptr) {
       // Every site of the service is withdrawn: packets black-hole.
       result.status = SendStatus::kTimeout;
-      return result;
+      return;
     }
   } else if (default_route_.handler != nullptr) {
     if (faults_ != nullptr &&
         faults_->SiteWithdrawn(default_route_.site, now)) {
       result.status = SendStatus::kTimeout;
-      return result;
+      return;
     }
     best = &default_route_;
     best_rtt = latency_.RttUs(src_site, default_route_.site, ipv6);
   } else {
-    return result;  // kNoRoute
+    return;  // kNoRoute
   }
 
   FaultDecision fate;
@@ -62,7 +66,7 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
   if (fate.lose_query) {
     result.status = SendStatus::kLostQuery;
     result.server_site = best->site;
-    return result;
+    return;
   }
 
   PacketContext ctx;
@@ -79,25 +83,24 @@ Network::SendResult Network::Query(const net::Endpoint& src, SiteId src_site,
   }
   ctx.time_us = now + total_rtt / 2;
 
-  dns::WireBuffer response = best->handler->HandlePacket(ctx, query);
-  if (response.empty()) {
+  best->handler->HandlePacket(ctx, query, result.response);
+  if (result.response.empty()) {
     result.status = SendStatus::kServerDropped;
     result.server_site = best->site;
-    return result;
+    return;
   }
   if (fate.lose_response) {
     // The server answered (work done, exchange captured) but the reply
-    // never makes it home.
+    // never makes it home; the sender sees no bytes.
+    result.response.clear();
     result.status = SendStatus::kLostResponse;
     result.server_site = best->site;
-    return result;
+    return;
   }
 
   result.status = SendStatus::kDelivered;
-  result.response = std::move(response);
   result.rtt_us = total_rtt;
   result.server_site = best->site;
-  return result;
 }
 
 }  // namespace clouddns::sim

@@ -33,13 +33,24 @@ struct PacketContext {
   bool brownout_servfail = false;
 };
 
-/// Implemented by authoritative servers. Returns response bytes; an empty
-/// buffer means the packet was dropped (rate limiting, malformed, ...).
+/// Implemented by authoritative servers. The response is written into a
+/// caller-provided buffer (cleared before dispatch) so steady-state serving
+/// reuses one buffer per network instead of allocating per packet; leaving
+/// it empty means the packet was dropped (rate limiting, malformed, ...).
 class PacketHandler {
  public:
   virtual ~PacketHandler() = default;
-  virtual dns::WireBuffer HandlePacket(const PacketContext& ctx,
-                                       const dns::WireBuffer& query) = 0;
+  virtual void HandlePacket(const PacketContext& ctx,
+                            const dns::WireBuffer& query,
+                            dns::WireBuffer& response) = 0;
+
+  /// Convenience wrapper returning a fresh buffer (tests, benches).
+  dns::WireBuffer HandlePacket(const PacketContext& ctx,
+                               const dns::WireBuffer& query) {
+    dns::WireBuffer response;
+    HandlePacket(ctx, query, response);
+    return response;
+  }
 };
 
 class Network {
@@ -90,11 +101,22 @@ class Network {
   };
 
   /// Sends `query` from `src` (at `src_site`) to `dst` over `transport` at
-  /// simulated time `now`.
+  /// simulated time `now`, writing the outcome into `result`. The response
+  /// buffer inside `result` is reused across calls (cleared, capacity
+  /// kept), so a resolver's steady-state exchange never allocates.
+  void Query(const net::Endpoint& src, SiteId src_site,
+             const net::IpAddress& dst, dns::Transport transport,
+             const dns::WireBuffer& query, TimeUs now, SendResult& result);
+
+  /// Convenience wrapper returning a fresh SendResult.
   [[nodiscard]] SendResult Query(const net::Endpoint& src, SiteId src_site,
                                  const net::IpAddress& dst,
                                  dns::Transport transport,
-                                 const dns::WireBuffer& query, TimeUs now);
+                                 const dns::WireBuffer& query, TimeUs now) {
+    SendResult result;
+    Query(src, src_site, dst, transport, query, now, result);
+    return result;
+  }
 
   [[nodiscard]] std::size_t service_count() const { return services_.size(); }
 

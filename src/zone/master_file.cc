@@ -149,8 +149,14 @@ std::optional<dns::Name> ParseNameField(const std::string& token,
   auto relative = dns::Name::Parse(token);
   if (!relative) return std::nullopt;
   // Append the origin: relative-label list + origin labels.
-  std::vector<std::string> labels = relative->labels();
-  for (const auto& label : origin.labels()) labels.push_back(label);
+  std::vector<std::string> labels;
+  labels.reserve(relative->LabelCount() + origin.LabelCount());
+  for (std::size_t i = 0; i < relative->LabelCount(); ++i) {
+    labels.emplace_back(relative->Label(i));
+  }
+  for (std::size_t i = 0; i < origin.LabelCount(); ++i) {
+    labels.emplace_back(origin.Label(i));
+  }
   try {
     return dns::Name::FromLabels(std::move(labels));
   } catch (const std::invalid_argument&) {

@@ -5,7 +5,7 @@ namespace {
 
 constexpr char kHex[] = "0123456789abcdef";
 
-std::optional<int> NibbleValue(const std::string& label) {
+std::optional<int> NibbleValue(std::string_view label) {
   if (label.size() != 1) return std::nullopt;
   char c = dns::AsciiLower(label[0]);
   if (c >= '0' && c <= '9') return c - '0';
@@ -13,7 +13,7 @@ std::optional<int> NibbleValue(const std::string& label) {
   return std::nullopt;
 }
 
-std::optional<int> OctetValue(const std::string& label) {
+std::optional<int> OctetValue(std::string_view label) {
   if (label.empty() || label.size() > 3) return std::nullopt;
   int value = 0;
   for (char c : label) {

@@ -204,5 +204,49 @@ TEST(MessageTest, CompressionShrinksRealResponses) {
   EXPECT_EQ(decoded->authorities.size(), 4u);
 }
 
+
+TEST(MessageTest, MutatedSurvivorsReencodeStablyAndReuseMatchesFresh) {
+  // Two regressions for the pooled decode path. (1) Mutants that Decode
+  // accepts must reach a re-encode fixed point: Encode(Decode(Encode(m)))
+  // is bit-identical to Encode(m) — the encoder is a canonicalizer, so one
+  // round trip must normalize fully. (2) DecodeInto into a reused (dirty)
+  // message must agree exactly with a fresh Decode, including after the
+  // reused message was left in the unspecified post-failure state.
+  Message resp = Message::MakeQuery(77, *Name::Parse("www.example.nl"),
+                                    RrType::kA, EdnsInfo{1232, true, 0});
+  resp.header.qr = true;
+  resp.answers.push_back(MakeA(*Name::Parse("www.example.nl"),
+                               net::Ipv4Address(192, 0, 2, 1), 300));
+  resp.authorities.push_back(
+      MakeNs(*Name::Parse("example.nl"), *Name::Parse("ns1.example.nl"), 3600));
+  WireBuffer base = resp.Encode();
+
+  Message reused;  // deliberately carries state across iterations
+  std::mt19937_64 rng(8767);
+  int survivors = 0;
+  for (int i = 0; i < 2000; ++i) {
+    WireBuffer mutated = base;
+    int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] = static_cast<std::uint8_t>(rng());
+    }
+    auto fresh = Message::Decode(mutated);
+    const bool reused_ok =
+        Message::DecodeInto(mutated.data(), mutated.size(), reused);
+    ASSERT_EQ(reused_ok, fresh.has_value());
+    if (!fresh) continue;
+    ++survivors;
+    EXPECT_EQ(reused, *fresh);
+
+    WireBuffer first = fresh->Encode();
+    auto redecoded = Message::Decode(first);
+    ASSERT_TRUE(redecoded.has_value());
+    EXPECT_EQ(redecoded->Encode(), first);
+  }
+  // The flip distribution must actually produce survivors, or the test
+  // is vacuous.
+  EXPECT_GT(survivors, 0);
+}
+
 }  // namespace
 }  // namespace clouddns::dns

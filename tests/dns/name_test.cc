@@ -4,6 +4,8 @@
 
 #include <unordered_set>
 
+#include "dns/message.h"
+
 namespace clouddns::dns {
 namespace {
 
@@ -124,6 +126,72 @@ TEST(NameTest, HashDistinguishesLabelBoundaries) {
   // "ab.c" vs "a.bc" must hash (and compare) differently.
   EXPECT_NE(*Name::Parse("ab.c"), *Name::Parse("a.bc"));
   EXPECT_NE(hash(*Name::Parse("ab.c")), hash(*Name::Parse("a.bc")));
+}
+
+
+TEST(NameTest, SmallBufferBoundaryIsExact) {
+  // One 53-byte label = 54 flat bytes, the last size that fits inline.
+  auto inline_name = Name::Parse(std::string(53, 'a'));
+  ASSERT_TRUE(inline_name.has_value());
+  EXPECT_TRUE(inline_name->IsInline());
+  // One more label pushes the flat size to 56 and onto the heap.
+  auto heap_name = Name::Parse(std::string(53, 'a') + ".b");
+  ASSERT_TRUE(heap_name.has_value());
+  EXPECT_FALSE(heap_name->IsInline());
+  EXPECT_EQ(heap_name->ToString(), std::string(53, 'a') + ".b");
+}
+
+TEST(NameTest, HeapPathSurvivesCopyMoveAndReassignment) {
+  std::string label(63, 'x');
+  std::string long_text = label + "." + label + "." + label;
+  auto heap_name = Name::Parse(long_text);
+  ASSERT_TRUE(heap_name.has_value());
+  ASSERT_FALSE(heap_name->IsInline());
+
+  Name copy = *heap_name;
+  EXPECT_EQ(copy, *heap_name);
+  EXPECT_EQ(copy.CachedHash(), heap_name->CachedHash());
+  EXPECT_EQ(copy.ToString(), long_text);
+
+  Name moved = std::move(copy);
+  EXPECT_EQ(moved, *heap_name);
+  EXPECT_EQ(moved.ToString(), long_text);
+
+  // Heap -> inline reassignment releases the block (ASan tree verifies);
+  // inline -> heap reassignment re-acquires one.
+  Name slot = *heap_name;
+  slot = *Name::Parse("short.nl");
+  EXPECT_TRUE(slot.IsInline());
+  EXPECT_EQ(slot.ToString(), "short.nl");
+  slot = moved;
+  EXPECT_FALSE(slot.IsInline());
+  EXPECT_EQ(slot, *heap_name);
+}
+
+TEST(NameTest, MaxLengthNameRoundTripsThroughWireAndAudit) {
+  // 63+63+63+61 byte labels = 254 flat bytes = the RFC 1035 255-octet
+  // wire maximum including the root terminator.
+  std::string label(63, 'x');
+  std::string text =
+      label + "." + label + "." + label + "." + std::string(61, 'y');
+  auto name = Name::Parse(text);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->WireLength(), Name::kMaxWireLength);
+  EXPECT_FALSE(name->IsInline());
+
+  // Encode is audit-hooked (CLOUDDNS_AUDIT aborts on any structural
+  // fault), so a full message round trip exercises wire + audit at the
+  // length limit for both SBO paths.
+  for (const Name& qname : {*name, *Name::Parse("short.nl")}) {
+    Message query = Message::MakeQuery(7, qname, RrType::kA);
+    WireBuffer wire = query.Encode();
+    auto decoded = Message::Decode(wire);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->questions.size(), 1u);
+    EXPECT_EQ(decoded->questions[0].name, qname);
+    EXPECT_EQ(decoded->questions[0].name.ToString(), qname.ToString());
+    EXPECT_EQ(decoded->questions[0].name.CachedHash(), qname.CachedHash());
+  }
 }
 
 }  // namespace

@@ -123,5 +123,54 @@ TEST(InfraCacheTest, PutOverwritesByApex) {
   EXPECT_EQ(infra.Get(N("nl"), 1)->ds, ZoneEntry::Ds::kPresent);
 }
 
+
+TEST(DnsCacheTest, LruEvictionOrderIsExactUnderMixedTouches) {
+  DnsCache cache(4);
+  cache.Put(N("a.nl"), dns::RrType::kA, Answer(~0ull));
+  cache.Put(N("b.nl"), dns::RrType::kA, Answer(~0ull));
+  cache.Put(N("c.nl"), dns::RrType::kA, Answer(~0ull));
+  cache.Put(N("d.nl"), dns::RrType::kA, Answer(~0ull));
+  // Recency after touches: a > c > d > b (b is the victim, then d).
+  EXPECT_NE(cache.Get(N("c.nl"), dns::RrType::kA, 1), nullptr);
+  EXPECT_NE(cache.Get(N("a.nl"), dns::RrType::kA, 1), nullptr);
+
+  cache.Put(N("e.nl"), dns::RrType::kA, Answer(~0ull));
+  EXPECT_EQ(cache.Get(N("b.nl"), dns::RrType::kA, 1), nullptr);
+  cache.Put(N("f.nl"), dns::RrType::kA, Answer(~0ull));
+  EXPECT_EQ(cache.Get(N("d.nl"), dns::RrType::kA, 1), nullptr);
+
+  EXPECT_EQ(cache.size(), 4u);
+  for (const char* alive : {"a.nl", "c.nl", "e.nl", "f.nl"}) {
+    EXPECT_NE(cache.Get(N(alive), dns::RrType::kA, 1), nullptr) << alive;
+  }
+}
+
+TEST(DnsCacheTest, ServeStaleHitRefreshesRecencyUnderLru) {
+  DnsCache cache(2, /*retain_expired=*/true);
+  cache.Put(N("a.nl"), dns::RrType::kA, Answer(1000));
+  cache.Put(N("b.nl"), dns::RrType::kA, Answer(1000));
+
+  // Both expired: a plain Get misses but retains the entry, and the
+  // expired-miss deliberately does not refresh recency.
+  EXPECT_EQ(cache.Get(N("a.nl"), dns::RrType::kA, 2000), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A stale hit IS a use: it refreshes recency, so the untouched b.nl is
+  // the LRU victim when capacity is exceeded.
+  const CachedAnswer* stale =
+      cache.GetStale(N("a.nl"), dns::RrType::kA, 2000, 5000);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(cache.stale_hits(), 1u);
+
+  cache.Put(N("c.nl"), dns::RrType::kA, Answer(~0ull));
+  EXPECT_EQ(cache.GetStale(N("b.nl"), dns::RrType::kA, 2000, 5000), nullptr);
+  EXPECT_NE(cache.GetStale(N("a.nl"), dns::RrType::kA, 2000, 5000), nullptr);
+
+  // Outside the serve-stale window the entry is dead even when retained:
+  // expires_at=1000 + max_stale=5000 <= now=6000.
+  EXPECT_EQ(cache.GetStale(N("a.nl"), dns::RrType::kA, 6000, 5000), nullptr);
+}
+
 }  // namespace
 }  // namespace clouddns::resolver

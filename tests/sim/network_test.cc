@@ -9,15 +9,15 @@ namespace {
 
 class EchoHandler : public PacketHandler {
  public:
-  dns::WireBuffer HandlePacket(const PacketContext& ctx,
-                               const dns::WireBuffer& query) override {
+  void HandlePacket(const PacketContext& ctx, const dns::WireBuffer& query,
+                    dns::WireBuffer& response) override {
     last_ctx = ctx;
     ++count;
-    if (drop) return {};
-    dns::WireBuffer reply = query;
-    reply.push_back(tag);
-    return reply;
+    if (drop) return;
+    response = query;
+    response.push_back(tag);
   }
+  using PacketHandler::HandlePacket;
 
   PacketContext last_ctx;
   int count = 0;

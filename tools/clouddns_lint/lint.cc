@@ -33,6 +33,12 @@
 //                      plumbed substream hierarchy, or a stray stateful
 //                      generator silently breaks the thread-count
 //                      byte-identity contract for fault-enabled runs.
+//   hot-alloc          ToKey()/ToString() calls or std::string mentions in
+//                      a file carrying a `// lint:hot-path` tag: hot-path
+//                      code keys on the cached Name hash + flat bytes
+//                      (DESIGN.md §10); a string key here reintroduces a
+//                      per-query allocation. Cold-side exceptions carry a
+//                      reasoned lint:allow(hot-alloc).
 //
 // Suppression: `// lint:allow(<rule>): <reason>` on the offending line, or
 // on a comment line directly above it. The reason is mandatory; an allow
@@ -379,6 +385,20 @@ class Linter {
              return PathContains(f, "/sim/") || PathContains(f, "/cloud/");
            }});
       rules.push_back(
+          {"hot-alloc",
+           std::regex(R"((\bToKey\s*\()|(\bToString\s*\()|(std::string\b))"),
+           "string construction in a hot-path-tagged file; key on the "
+           "cached Name hash + flat bytes (DESIGN.md §10), or add a "
+           "reasoned lint:allow(hot-alloc) for a genuinely cold line",
+           [](const SourceFile& f) {
+             for (const std::string& line : f.raw) {
+               if (line.find("lint:hot-path") != std::string::npos) {
+                 return true;
+               }
+             }
+             return false;
+           }});
+      rules.push_back(
           {"fault-rng",
            std::regex(R"(^(?!.*SubstreamSeed).*\bRng\s*(\w+\s*)?[({])"),
            "fault-module Rng must be built from sim::SubstreamSeed on the "
@@ -437,7 +457,7 @@ class Linter {
 constexpr const char* kRuleNames[] = {
     "no-rand",      "wall-clock",        "unordered-iter",
     "raw-thread",   "float-accumulator", "seed-plumbing",
-    "fault-rng",    "bad-suppression",
+    "fault-rng",    "hot-alloc",         "bad-suppression",
 };
 
 bool IsSourceFile(const fs::path& path) {

@@ -84,6 +84,53 @@ if(diagnostics MATCHES "fault_scratch.cc:4")
 endif()
 file(REMOVE "${fault_scratch}")
 
+# The hot-alloc rule fires only in files tagged `lint:hot-path`: string
+# key construction on line 4/5 must be reported, the reasoned allow on
+# line 6 must be honoured, and an untagged file with the same code must
+# pass untouched.
+set(hot_scratch "${WORK}/src/server/hot_scratch.cc")
+file(WRITE "${hot_scratch}" "// scratch server
+// lint:hot-path
+void Hot() {
+  auto key = name.ToKey();
+  std::string rendered = name.ToString();
+  std::string path = Render();  // lint:allow(hot-alloc): once per file
+  (void)key; (void)rendered; (void)path;
+}
+")
+set(cold_scratch "${WORK}/src/server/cold_scratch.cc")
+file(WRITE "${cold_scratch}" "// scratch server, untagged
+void Cold() {
+  std::string rendered = name.ToString();
+  (void)rendered;
+}
+")
+execute_process(
+  COMMAND "${LINT}" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR "linter passed a tree with hot-alloc violations")
+endif()
+foreach(expected
+    "hot_scratch.cc:4: error: .hot-alloc."
+    "hot_scratch.cc:5: error: .hot-alloc.")
+  if(NOT diagnostics MATCHES "${expected}")
+    message(FATAL_ERROR
+      "missing diagnostic matching '${expected}' in:\n${diagnostics}")
+  endif()
+endforeach()
+if(diagnostics MATCHES "hot_scratch.cc:6")
+  message(FATAL_ERROR
+    "reasoned lint:allow(hot-alloc) was still reported:\n${diagnostics}")
+endif()
+if(diagnostics MATCHES "cold_scratch.cc")
+  message(FATAL_ERROR
+    "hot-alloc fired in an untagged file:\n${diagnostics}")
+endif()
+file(REMOVE "${hot_scratch}" "${cold_scratch}")
+
 # A suppression without a reason must itself be flagged.
 file(WRITE "${scratch}" "#include <cstdlib>
 void NoReason() {
