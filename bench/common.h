@@ -20,6 +20,8 @@
 
 #include "analysis/calibration.h"
 #include "analysis/dataset_cache.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "analysis/experiments.h"
 #include "analysis/report.h"
 #include "cloud/scenario.h"
@@ -117,25 +119,32 @@ class BenchRecorder {
   BenchRecorder& operator=(const BenchRecorder&) = delete;
 
   /// Call once per dataset with the number of capture records analyzed.
-  void AddQueries(std::uint64_t n) { queries_ += n; }
+  /// Thread-safe: benches may accumulate from per-dataset callbacks.
+  void AddQueries(std::uint64_t n) EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    queries_ += n;
+  }
 
   /// Appends a bench-specific numeric field to the emitted JSON, so a
   /// bench can expose its headline result (an amplification factor, a
   /// ratio, a count) machine-readably next to the timing data.
-  void AddStat(const std::string& key, double value) {
+  void AddStat(const std::string& key, double value) EXCLUDES(mu_) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.3f", value);
+    base::MutexLock lock(mu_);
     stats_.emplace_back(key, buf);
   }
-  void AddStat(const std::string& key, std::uint64_t value) {
+  void AddStat(const std::string& key, std::uint64_t value) EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
     stats_.emplace_back(key, std::to_string(value));
   }
 
-  ~BenchRecorder() {
+  ~BenchRecorder() EXCLUDES(mu_) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    base::MutexLock lock(mu_);
     std::size_t threads = std::thread::hardware_concurrency();
     if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
       char* end = nullptr;
@@ -182,8 +191,9 @@ class BenchRecorder {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t alloc_start_ = 0;
-  std::uint64_t queries_ = 0;
-  std::vector<std::pair<std::string, std::string>> stats_;
+  mutable base::Mutex mu_;
+  std::uint64_t queries_ GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<std::string, std::string>> stats_ GUARDED_BY(mu_);
 };
 
 /// One measured point of the thread-scaling sweep.

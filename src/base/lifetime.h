@@ -1,0 +1,21 @@
+// Lifetime-contract annotation (DESIGN.md §11), the static counterpart
+// of clouddns_lint's borrowed-buffer escape pass.
+//
+// CLOUDDNS_LIFETIMEBOUND marks a function whose returned view or
+// reference borrows from the annotated parameter (or from `*this` when
+// placed after a member function's cv-qualifiers). Clang's
+// -Wdangling-gsl / -Wreturn-stack-address diagnostics then flag callers
+// that let the result outlive the owner — e.g. binding `name.Label(0)`
+// to a longer-lived variable than `name`. Under GCC, or Clang without
+// the attribute, it expands to nothing and serves as documentation of
+// the borrow.
+#pragma once
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define CLOUDDNS_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef CLOUDDNS_LIFETIMEBOUND
+#define CLOUDDNS_LIFETIMEBOUND
+#endif

@@ -1,0 +1,45 @@
+// Annotated mutex wrappers (DESIGN.md §11).
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so Clang's -Wthread-safety analysis cannot track them:
+// GUARDED_BY members accessed under a std::lock_guard would warn on
+// every use. These zero-cost wrappers put ACQUIRE/RELEASE annotations on
+// the lock operations so the analysis sees exactly which scopes hold
+// which capability.
+#pragma once
+
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace clouddns::base {
+
+/// An annotated std::mutex. Prefer MutexLock for scoped acquisition.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a base::Mutex (std::lock_guard with
+/// SCOPED_CAPABILITY annotations).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace clouddns::base

@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis capability macros (DESIGN.md §11).
+//
+// These expand to Clang's `capability` attribute family so that lock
+// discipline — which member is guarded by which mutex, which functions
+// must (or must not) hold it — is part of the type signature and checked
+// at compile time with -Wthread-safety (the CLOUDDNS_TSA build). Under
+// GCC, or Clang without the attribute, every macro expands to nothing:
+// the annotations are free documentation.
+//
+// std::mutex carries no annotations in libstdc++/libc++, so the analysis
+// cannot see through it; use base::Mutex / base::MutexLock (base/mutex.h),
+// which wrap std::mutex with ACQUIRE/RELEASE-annotated methods.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CLOUDDNS_TSA_HAS(x) __has_attribute(x)
+#else
+#define CLOUDDNS_TSA_HAS(x) 0
+#endif
+
+#if CLOUDDNS_TSA_HAS(guarded_by)
+#define CLOUDDNS_TSA_ATTR(x) __attribute__((x))
+#else
+#define CLOUDDNS_TSA_ATTR(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define CAPABILITY(x) CLOUDDNS_TSA_ATTR(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY CLOUDDNS_TSA_ATTR(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) CLOUDDNS_TSA_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define PT_GUARDED_BY(x) CLOUDDNS_TSA_ATTR(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define REQUIRES(...) CLOUDDNS_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CLOUDDNS_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities; caller must not hold them.
+#define ACQUIRE(...) CLOUDDNS_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CLOUDDNS_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities; caller must hold them.
+#define RELEASE(...) CLOUDDNS_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CLOUDDNS_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires on a given return value (e.g. TRY_ACQUIRE(true)).
+#define TRY_ACQUIRE(...) CLOUDDNS_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking public entry points).
+#define EXCLUDES(...) CLOUDDNS_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) CLOUDDNS_TSA_ATTR(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. move
+/// constructors locking the source object); always pair with a comment
+/// explaining why the access is safe.
+#define NO_THREAD_SAFETY_ANALYSIS CLOUDDNS_TSA_ATTR(no_thread_safety_analysis)

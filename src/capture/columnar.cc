@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "base/lifetime.h"
 #include "capture/varint.h"
 
 namespace clouddns::capture {
@@ -127,7 +128,10 @@ std::optional<net::IpAddress> GetAddress(Cursor& c) {
 }
 
 /// Length-prefixed string as a borrowed view; no std::string is built.
-std::optional<std::string_view> GetStringView(Cursor& c) {
+/// The view borrows from the cursor's underlying block (DESIGN.md §11):
+/// it must be consumed before the cursor's buffer is refilled.
+std::optional<std::string_view> GetStringView(Cursor& c
+                                                  CLOUDDNS_LIFETIMEBOUND) {
   auto len = c.Varint();
   if (!len || static_cast<std::uint64_t>(c.end - c.p) < *len) {
     return std::nullopt;

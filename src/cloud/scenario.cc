@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "capture/merge.h"
 #include "cloud/fleet.h"
 #include "sim/diurnal.h"
@@ -41,6 +43,35 @@ sim::TimeUs DayStart(int year, unsigned month, unsigned day) {
 /// both the workload injection and the kNzEventLoss fault preset.
 sim::TimeUs NzEventStart() { return DayStart(2020, 2, 3); }
 sim::TimeUs NzEventEnd() { return DayStart(2020, 2, 27); }
+
+/// Hands out shard indices to worker threads. Shards vary in cost (engine
+/// ownership is round-robin but per-engine query mixes differ), so dynamic
+/// draw beats a static stride when shard_count >> threads. Output stays
+/// byte-identical regardless of which thread runs which shard: RunShard(s)
+/// touches only shards_[s], and the merge orders by shard index, never by
+/// completion. This is the scenario engine's only cross-thread mutable
+/// state, and the lock discipline is machine-checked (DESIGN.md §11).
+class ShardQueue {
+ public:
+  explicit ShardQueue(std::size_t count) : count_(count) {}
+
+  static constexpr std::size_t kDrained = static_cast<std::size_t>(-1);
+
+  /// Next unclaimed shard index, or kDrained.
+  [[nodiscard]] std::size_t Pop() EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    return PopLocked();
+  }
+
+ private:
+  [[nodiscard]] std::size_t PopLocked() REQUIRES(mu_) {
+    return next_ < count_ ? next_++ : kDrained;
+  }
+
+  base::Mutex mu_;
+  std::size_t next_ GUARDED_BY(mu_) = 0;
+  const std::size_t count_;
+};
 
 std::size_t EffectiveThreads(std::size_t configured) {
   if (configured > 0) return configured;
@@ -671,13 +702,18 @@ ScenarioResult ScenarioRuntime::Run() {
   if (threads <= 1) {
     for (std::size_t s = 0; s < shard_count_; ++s) RunShard(s);
   } else {
-    // Static shard->thread assignment; shards share no mutable state, so
-    // the workers need no synchronization beyond join().
+    // Workers draw shard indices from a shared queue; beyond that draw
+    // the shards share no mutable state, so no further synchronization
+    // is needed until join().
+    ShardQueue queue(shard_count_);
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t k = 0; k < threads; ++k) {
-      workers.emplace_back([this, k, threads] {
-        for (std::size_t s = k; s < shard_count_; s += threads) RunShard(s);
+      workers.emplace_back([this, &queue] {
+        for (std::size_t s = queue.Pop(); s != ShardQueue::kDrained;
+             s = queue.Pop()) {
+          RunShard(s);
+        }
       });
     }
     for (auto& worker : workers) worker.join();

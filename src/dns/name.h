@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "base/lifetime.h"
+
 namespace clouddns::dns {
 
 /// Lowercases an ASCII character; DNS is ASCII-case-insensitive only.
@@ -72,12 +74,15 @@ class Name {
   [[nodiscard]] bool IsRoot() const { return label_count_ == 0; }
   [[nodiscard]] std::size_t LabelCount() const { return label_count_; }
   /// The i-th label, most specific first. O(i) walk over the flat bytes.
-  [[nodiscard]] std::string_view Label(std::size_t i) const;
+  [[nodiscard]] std::string_view Label(std::size_t i) const
+      CLOUDDNS_LIFETIMEBOUND;
 
   /// The flat label bytes: [len][bytes]... most specific first, no root
   /// byte. This is what the wire writer emits and what suffix-keyed caches
   /// hash slices of.
-  [[nodiscard]] const std::uint8_t* FlatData() const { return flat(); }
+  [[nodiscard]] const std::uint8_t* FlatData() const CLOUDDNS_LIFETIMEBOUND {
+    return flat();
+  }
   [[nodiscard]] std::size_t FlatSize() const { return size_; }
   /// The precomputed case-insensitive FNV-1a hash over the flat bytes.
   [[nodiscard]] std::uint64_t CachedHash() const { return hash_; }

@@ -14,6 +14,8 @@
 #include <string_view>
 #include <variant>
 
+#include "base/lifetime.h"
+
 namespace clouddns::net {
 
 /// An IPv4 address held in host byte order.
@@ -65,7 +67,9 @@ class Ipv6Address {
   /// IPv4 tails ("::ffff:192.0.2.1").
   static std::optional<Ipv6Address> Parse(std::string_view text);
 
-  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] const Bytes& bytes() const CLOUDDNS_LIFETIMEBOUND {
+    return bytes_;
+  }
   [[nodiscard]] std::uint16_t group(int i) const {
     return static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * i)]
                                        << 8) |

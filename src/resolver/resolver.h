@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/lifetime.h"
 #include "dns/message.h"
 #include "resolver/cache.h"
 #include "sim/network.h"
@@ -120,8 +121,12 @@ class RecursiveResolver {
   /// shard's network (which carries that shard's authoritative servers).
   void AttachNetwork(sim::Network& network) { network_ = &network; }
 
-  [[nodiscard]] const DnsCache& cache() const { return cache_; }
-  [[nodiscard]] const ResolverConfig& config() const { return config_; }
+  [[nodiscard]] const DnsCache& cache() const CLOUDDNS_LIFETIMEBOUND {
+    return cache_;
+  }
+  [[nodiscard]] const ResolverConfig& config() const CLOUDDNS_LIFETIMEBOUND {
+    return config_;
+  }
   [[nodiscard]] std::uint64_t upstream_query_count() const {
     return upstream_total_;
   }
@@ -135,7 +140,8 @@ class RecursiveResolver {
   [[nodiscard]] std::uint64_t served_stale_count() const {
     return served_stale_total_;
   }
-  [[nodiscard]] const NsecRangeCache& nsec_cache() const {
+  [[nodiscard]] const NsecRangeCache& nsec_cache() const
+      CLOUDDNS_LIFETIMEBOUND {
     return nsec_cache_;
   }
 

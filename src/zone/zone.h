@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "dns/name.h"
 #include "dns/record.h"
 #include "dns/types.h"
@@ -45,6 +46,14 @@ struct LookupResult {
 class Zone {
  public:
   explicit Zone(dns::Name apex) : apex_(std::move(apex)) {}
+
+  // Movable (builders return zones by value) but not copyable: the
+  // denial cache's mutex is held directly, so the moves are spelled out
+  // in zone.cc — they lock the source while stealing its cache.
+  Zone(Zone&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  Zone& operator=(Zone&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
 
   [[nodiscard]] const dns::Name& apex() const { return apex_; }
 
@@ -98,13 +107,12 @@ class Zone {
   // Canonically sorted owner names, built lazily for DenialNeighbors and
   // invalidated by Add. Zones are shared read-only across parallel scenario
   // shards, so the cache is handed out as an immutable snapshot under a
-  // lock; the search itself runs lock-free on the snapshot. The mutex lives
-  // behind a unique_ptr to keep Zone movable.
+  // lock; the search itself runs lock-free on the snapshot.
   [[nodiscard]] std::shared_ptr<const std::vector<dns::Name>> SortedNames()
-      const;
-  mutable std::shared_ptr<const std::vector<dns::Name>> sorted_names_;
-  mutable std::unique_ptr<std::mutex> denial_mutex_ =
-      std::make_unique<std::mutex>();
+      const EXCLUDES(denial_mutex_);
+  mutable base::Mutex denial_mutex_;
+  mutable std::shared_ptr<const std::vector<dns::Name>> sorted_names_
+      GUARDED_BY(denial_mutex_);
 
   /// Finds the closest enclosing zone cut strictly below the apex, if any.
   [[nodiscard]] std::optional<dns::Name> FindZoneCut(

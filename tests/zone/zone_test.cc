@@ -119,6 +119,34 @@ TEST(ZoneTest, AnyQueryReturnsAllRecords) {
   EXPECT_GE(result.records.size(), 3u);  // SOA + 2 NS at least
 }
 
+TEST(ZoneTest, MoveTransfersContentAndDenialCache) {
+  // Zone holds a directly-embedded mutex guarding the lazy denial cache;
+  // the explicit move operations must carry the zone's content (and any
+  // already-built cache snapshot) across without touching the mutex.
+  Zone source = MakeNlZone();
+  const std::size_t names = source.name_count();
+  const std::size_t records = source.record_count();
+  auto warm = source.DenialNeighbors(N("bbb.nl"));  // build the cache
+
+  Zone moved(std::move(source));
+  EXPECT_EQ(moved.name_count(), names);
+  EXPECT_EQ(moved.record_count(), records);
+  auto after_move = moved.DenialNeighbors(N("bbb.nl"));
+  EXPECT_EQ(after_move.prev, warm.prev);
+  EXPECT_EQ(after_move.next, warm.next);
+
+  Zone assigned(N("nl"));
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.name_count(), names);
+  EXPECT_EQ(assigned.Lookup(N("nl"), dns::RrType::kSoa).status,
+            LookupStatus::kAnswer);
+  // The moved-into zone still accepts writes and invalidates its cache.
+  AddDelegation(assigned, N("ccc.nl"),
+                {{N("ns1.ccc.nl"), {*net::IpAddress::Parse("198.51.100.77")}}},
+                /*with_ds=*/false);
+  EXPECT_EQ(assigned.DenialNeighbors(N("cca.nl")).next, N("ccc.nl"));
+}
+
 TEST(ZoneTest, RootZoneDelegatesTlds) {
   ZoneBuildConfig config;
   config.apex = dns::Name{};

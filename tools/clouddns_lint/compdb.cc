@@ -1,0 +1,143 @@
+#include "compdb.h"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Reads the JSON string starting at the opening quote `pos`; handles the
+/// escapes CMake actually emits in paths (\\ \" \/ A never appears).
+std::optional<std::string> JsonString(const std::string& text,
+                                      std::size_t pos, std::size_t* end) {
+  if (pos >= text.size() || text[pos] != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + 1; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      *end = i + 1;
+      return out;
+    }
+    if (c == '\\' && i + 1 < text.size()) {
+      out += text[++i];
+      continue;
+    }
+    out += c;
+  }
+  return std::nullopt;
+}
+
+/// Values of every `"file"` key in the database. The compile_commands
+/// format is flat enough that a key scan is exact: "file" only appears
+/// as a key of each command object.
+std::vector<std::string> FileEntries(const std::string& text) {
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    std::size_t cursor = pos + key.size();
+    while (cursor < text.size() &&
+           (text[cursor] == ' ' || text[cursor] == '\t' ||
+            text[cursor] == ':')) {
+      ++cursor;
+    }
+    std::size_t end = cursor;
+    if (auto value = JsonString(text, cursor, &end)) {
+      files.push_back(*value);
+      pos = end;
+    } else {
+      pos += key.size();
+    }
+  }
+  return files;
+}
+
+std::vector<std::string> QuotedIncludeTargets(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> targets;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) {
+      continue;
+    }
+    pos = line.find_first_not_of(" \t", pos + 7);
+    if (pos == std::string::npos || line[pos] != '"') continue;
+    std::size_t close = line.find('"', pos + 1);
+    if (close == std::string::npos) continue;
+    targets.push_back(line.substr(pos + 1, close - pos - 1));
+  }
+  return targets;
+}
+
+bool Under(const fs::path& root, const fs::path& candidate) {
+  auto root_it = root.begin();
+  auto cand_it = candidate.begin();
+  for (; root_it != root.end(); ++root_it, ++cand_it) {
+    if (cand_it == candidate.end() || *root_it != *cand_it) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> FilesFromCompdb(
+    const std::string& path, const std::string& src_root, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read compilation database " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(fs::path(src_root), ec);
+  if (ec) {
+    *error = "cannot resolve src root " + src_root;
+    return std::nullopt;
+  }
+
+  // Seed from every translation unit in the database — tests and bench
+  // TUs live outside src/ but still pull in header-only src files, and a
+  // header included only from there must not escape analysis. Only files
+  // under the src root are selected for scanning.
+  std::set<std::string> selected;
+  std::set<std::string> visited;
+  std::deque<std::string> frontier;
+  for (const std::string& entry : FileEntries(text)) {
+    fs::path canonical = fs::weakly_canonical(fs::path(entry), ec);
+    if (ec || !fs::exists(canonical)) continue;
+    if (visited.insert(canonical.string()).second) {
+      frontier.push_back(canonical.string());
+      if (Under(root, canonical)) selected.insert(canonical.string());
+    }
+  }
+  // Headers never appear in the database; reach them through the quoted
+  // includes of what does, resolved against the src root (the tree's one
+  // include directory).
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const std::string& target : QuotedIncludeTargets(current)) {
+      fs::path resolved = fs::weakly_canonical(root / target, ec);
+      if (ec || !Under(root, resolved) || !fs::exists(resolved)) continue;
+      if (visited.insert(resolved.string()).second) {
+        frontier.push_back(resolved.string());
+        selected.insert(resolved.string());
+      }
+    }
+  }
+  return std::vector<std::string>(selected.begin(), selected.end());
+}
+
+}  // namespace lint

@@ -1,0 +1,20 @@
+// compile_commands.json-driven file discovery: the analyzer scans exactly
+// what the build compiles (plus headers reached through quoted includes),
+// so a file CMake forgot is a build bug, not a lint blind spot.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+/// Translation units under `src_root` listed in the compilation database
+/// at `path`, plus every header transitively reachable from them via
+/// quoted includes resolved against `src_root`. Paths are returned
+/// sorted and deduplicated. Returns nullopt with a message in *error if
+/// the database cannot be read.
+std::optional<std::vector<std::string>> FilesFromCompdb(
+    const std::string& path, const std::string& src_root, std::string* error);
+
+}  // namespace lint

@@ -1,468 +1,72 @@
-// clouddns_lint: project-invariant linter for the clouddns source tree.
+// clouddns_lint: structural analyzer for the clouddns source tree.
 //
 // The scenario engine promises byte-identical output for any thread count
-// (DESIGN.md §7) and the analytics layer promises stable report ordering.
-// Those contracts die silently: one rand() call, one wall-clock read, or
-// one iteration over an unordered container in an emit path produces
-// output that differs run to run without failing a single test. This tool
-// makes the contracts mechanical. It walks the given roots (normally
-// src/), strips comments and string literals, and enforces:
+// (DESIGN.md §7), the analytics layer promises stable report ordering,
+// and the PR-4 buffer pools promise that borrowed views never outlive
+// their call (DESIGN.md §11). Those contracts die silently; this tool
+// makes them mechanical. Three passes run over every file the build
+// compiles (discovered through compile_commands.json, headers reached
+// via quoted includes):
 //
-//   no-rand            rand()/srand()/std::random_device/std::mt19937 and
-//                      friends are forbidden everywhere; sim::Rng is the
-//                      only sanctioned generator.
-//   wall-clock         system_clock/steady_clock/time(nullptr)/localtime/
-//                      gettimeofday leak host time into simulation output.
-//   unordered-iter     range-for over a std::unordered_{map,set} variable
-//                      in emit-path files (src/capture, src/analysis,
-//                      src/entrada/plan*): hash-iteration order leaks into
-//                      reports. Sort at the boundary or use std::map.
-//   raw-thread         std::thread outside src/cloud/scenario.cc; the
-//                      scenario engine owns parallelism so determinism is
-//                      reasoned about in one place.
-//   float-accumulator  `float` in src/entrada or src/analysis: aggregate
-//                      accumulators must be double/integer — float adds
-//                      platform-dependent rounding to report numbers.
-//   seed-plumbing      sim::Rng constructed from a bare numeric literal in
-//                      simulation code (src/sim, src/cloud): seeds must be
-//                      plumbed (config/ctx seed or SubstreamSeed), never
-//                      invented at the construction site.
-//   fault-rng          Rng constructed in the fault module (src/sim/fault*)
-//                      without SubstreamSeed on the same line: fault
-//                      decisions must be derived per-decision from the
-//                      plumbed substream hierarchy, or a stray stateful
-//                      generator silently breaks the thread-count
-//                      byte-identity contract for fault-enabled runs.
-//   hot-alloc          ToKey()/ToString() calls or std::string mentions in
-//                      a file carrying a `// lint:hot-path` tag: hot-path
-//                      code keys on the cached Name hash + flat bytes
-//                      (DESIGN.md §10); a string key here reintroduces a
-//                      per-query allocation. Cold-side exceptions carry a
-//                      reasoned lint:allow(hot-alloc).
+//   text rules      per-line determinism rules — no-rand, wall-clock,
+//                   unordered-iter, raw-thread, float-accumulator,
+//                   seed-plumbing, fault-rng, hot-alloc (see
+//                   text_rules.h for the catalogue).
+//   include graph   module edges checked against the declared layering
+//                   DAG in tools/clouddns_lint/layers.txt
+//                   (layer-inversion), plus file-level cycle rejection
+//                   (include-cycle). Diagnostics carry the shortest
+//                   offending path.
+//   escape pass     borrowed std::span/std::string_view lifetime rules
+//                   over the pooled-scratch modules (borrow-member,
+//                   borrow-return, lambda-borrow; see escape.h).
 //
-// Suppression: `// lint:allow(<rule>): <reason>` on the offending line, or
-// on a comment line directly above it. The reason is mandatory; an allow
-// without one is itself a violation (bad-suppression).
+// Suppression: `// lint:allow(<rule>): <reason>` on the offending line,
+// or on a comment line directly above it. The reason is mandatory
+// (bad-suppression otherwise), and an allow whose governed line no
+// longer triggers its rule is itself flagged (unused-suppression) so
+// waivers cannot outlive the code they excused.
 //
 // Exit status is non-zero when any unsuppressed violation exists.
-// `--json <path>` additionally writes a BENCH_lint.json-style summary so
-// the lint pass shows up in the perf trajectory.
+// `--json <path>` writes a BENCH_lint.json-style summary; `--sarif
+// <path>` writes a deterministic SARIF 2.1.0 report for CI upload.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "compdb.h"
+#include "escape.h"
+#include "include_graph.h"
+#include "report.h"
+#include "sarif.h"
+#include "source.h"
+#include "text_rules.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct Suppression {
-  std::string rule;
-  bool has_reason = false;
-  std::size_t line = 0;  ///< Line the suppression governs.
-};
-
-/// One source file, split into raw lines and "code" lines (comments
-/// removed, string/char literal contents blanked) so rule regexes never
-/// fire on prose or test data.
-struct SourceFile {
-  std::string path;          ///< As reported in diagnostics.
-  std::string generic_path;  ///< Forward-slash form for path matching.
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-};
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
-
-/// Strips // and /* */ comments and blanks string/char literal contents.
-/// Raw string literals are handled for the R"( ... )" delimiter-free form,
-/// which is the only shape the tree uses.
-std::vector<std::string> StripComments(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string code;
-    code.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block = false;
-          ++i;
-        }
-        continue;
-      }
-      char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        code += quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) break;
-          ++i;
-        }
-        code += quote;  // contents blanked
-        continue;
-      }
-      code += c;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-bool IsIdentChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-bool HasCode(const std::string& code_line) {
-  return std::any_of(code_line.begin(), code_line.end(),
-                     [](char c) { return !std::isspace(static_cast<unsigned char>(c)); });
-}
-
-bool PathContains(const SourceFile& file, const std::string& fragment) {
-  return file.generic_path.find(fragment) != std::string::npos;
-}
-
-bool PathEndsWith(const SourceFile& file, const std::string& suffix) {
-  const std::string& p = file.generic_path;
-  return p.size() >= suffix.size() &&
-         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Collects the names of variables/members declared with an unordered
-/// container type anywhere in the file (declarations may wrap lines).
-std::set<std::string> UnorderedDeclarations(const SourceFile& file) {
-  std::set<std::string> names;
-  std::string flat;
-  for (const std::string& line : file.code) {
-    flat += line;
-    flat += '\n';
-  }
-  static const std::string kTokens[] = {"unordered_map", "unordered_set"};
-  for (const std::string& token : kTokens) {
-    std::size_t pos = 0;
-    while ((pos = flat.find(token, pos)) != std::string::npos) {
-      std::size_t cursor = pos + token.size();
-      pos = cursor;
-      // Balance the template argument list.
-      while (cursor < flat.size() && std::isspace(static_cast<unsigned char>(flat[cursor]))) ++cursor;
-      if (cursor >= flat.size() || flat[cursor] != '<') continue;
-      int depth = 0;
-      while (cursor < flat.size()) {
-        if (flat[cursor] == '<') ++depth;
-        if (flat[cursor] == '>') {
-          --depth;
-          if (depth == 0) break;
-        }
-        ++cursor;
-      }
-      if (cursor >= flat.size()) continue;
-      ++cursor;  // past '>'
-      while (cursor < flat.size() &&
-             (std::isspace(static_cast<unsigned char>(flat[cursor])) ||
-              flat[cursor] == '&')) {
-        ++cursor;
-      }
-      std::string ident;
-      while (cursor < flat.size() && IsIdentChar(flat[cursor])) {
-        ident += flat[cursor++];
-      }
-      if (ident.empty()) continue;
-      while (cursor < flat.size() && std::isspace(static_cast<unsigned char>(flat[cursor]))) ++cursor;
-      // A declaration introduces the name and then ends or initializes;
-      // `Type Fn::Name(` or `Type Name::member` are not declarations of
-      // an iterable variable.
-      if (cursor < flat.size() && (flat[cursor] == ';' || flat[cursor] == '=' ||
-                                   flat[cursor] == '{' || flat[cursor] == ',' ||
-                                   flat[cursor] == ')')) {
-        names.insert(ident);
-      }
-    }
-  }
-  return names;
-}
-
-struct RangeFor {
-  std::size_t line = 0;          ///< 1-based line of the `for` keyword.
-  std::string range_expression;  ///< Text after the loop's `:`.
-};
-
-/// Finds range-based for statements, tolerating statements that wrap
-/// lines. Classic three-clause fors (which contain a top-level `;`) are
-/// skipped.
-std::vector<RangeFor> FindRangeFors(const SourceFile& file) {
-  std::vector<RangeFor> fors;
-  std::string flat;
-  std::vector<std::size_t> line_of_offset;
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    for (char c : file.code[i]) {
-      flat += c;
-      line_of_offset.push_back(i + 1);
-    }
-    flat += '\n';
-    line_of_offset.push_back(i + 1);
-  }
-  std::size_t pos = 0;
-  while ((pos = flat.find("for", pos)) != std::string::npos) {
-    bool word_start = pos == 0 || !IsIdentChar(flat[pos - 1]);
-    bool word_end = pos + 3 >= flat.size() || !IsIdentChar(flat[pos + 3]);
-    std::size_t keyword_at = pos;
-    pos += 3;
-    if (!word_start || !word_end) continue;
-    std::size_t open = flat.find_first_not_of(" \t\n", pos);
-    if (open == std::string::npos || flat[open] != '(') continue;
-    int depth = 0;
-    std::size_t cursor = open;
-    std::size_t colon = std::string::npos;
-    bool has_semicolon = false;
-    for (; cursor < flat.size(); ++cursor) {
-      char c = flat[cursor];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') {
-        --depth;
-        if (depth == 0) break;
-      }
-      if (depth == 1 && c == ';') has_semicolon = true;
-      if (depth == 1 && c == ':' && colon == std::string::npos) {
-        bool double_colon = (cursor > 0 && flat[cursor - 1] == ':') ||
-                            (cursor + 1 < flat.size() && flat[cursor + 1] == ':');
-        if (!double_colon) colon = cursor;
-      }
-    }
-    if (cursor >= flat.size() || has_semicolon || colon == std::string::npos) {
-      continue;
-    }
-    fors.push_back(RangeFor{line_of_offset[keyword_at],
-                            flat.substr(colon + 1, cursor - colon - 1)});
-  }
-  return fors;
-}
-
-class Linter {
- public:
-  void Lint(const SourceFile& file) {
-    CollectSuppressions(file);
-    LineRules(file);
-    UnorderedIterRule(file);
-    ++files_scanned_;
-  }
-
-  void Report(const SourceFile& file, std::size_t line, const std::string& rule,
-              const std::string& message) {
-    for (const Suppression& s : suppressions_) {
-      if (s.line == line && s.rule == rule) {
-        ++suppressed_;
-        return;
-      }
-    }
-    violations_.push_back(Violation{file.path, line, rule, message});
-  }
-
-  [[nodiscard]] const std::vector<Violation>& violations() const {
-    return violations_;
-  }
-  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
-  [[nodiscard]] std::size_t suppressed() const { return suppressed_; }
-
- private:
-  void CollectSuppressions(const SourceFile& file) {
-    suppressions_.clear();
-    static const std::regex kAllow(
-        R"(lint:allow\(([a-z][a-z0-9-]*)\)(.*))");
-    for (std::size_t i = 0; i < file.raw.size(); ++i) {
-      std::string::const_iterator begin = file.raw[i].begin();
-      std::smatch m;
-      std::string rest = file.raw[i];
-      while (std::regex_search(rest, m, kAllow)) {
-        Suppression s;
-        s.rule = m[1];
-        std::string reason = m[2];
-        // Strip separator punctuation; a reason must have a word in it.
-        s.has_reason = std::any_of(reason.begin(), reason.end(), [](char c) {
-          return IsIdentChar(c);
-        });
-        // A comment-only line governs the next line; otherwise this line.
-        s.line = HasCode(file.code[i]) ? i + 1 : i + 2;
-        if (!s.has_reason) {
-          violations_.push_back(Violation{
-              file.path, i + 1, "bad-suppression",
-              "lint:allow(" + s.rule + ") needs a reason: " +
-                  "`// lint:allow(" + s.rule + "): <why this is safe>`"});
-        } else {
-          suppressions_.push_back(s);
-        }
-        rest = m.suffix();
-      }
-      (void)begin;
-    }
-  }
-
-  void LineRules(const SourceFile& file) {
-    struct LineRule {
-      const char* rule;
-      std::regex pattern;
-      const char* message;
-      bool (*applies)(const SourceFile&);
-    };
-    static const std::vector<LineRule> kRules = [] {
-      std::vector<LineRule> rules;
-      rules.push_back(
-          {"no-rand",
-           std::regex(R"((\bsrand\s*\()|(\brand\s*\(\s*\))|(std::rand\b)|(\brandom\s*\(\s*\))|(random_device)|(mt19937)|(minstd_rand)|(default_random_engine)|(ranlux\d+))"),
-           "C library / <random> generators are nondeterministic across "
-           "platforms; draw from a plumbed sim::Rng instead",
-           [](const SourceFile&) { return true; }});
-      rules.push_back(
-          {"wall-clock",
-           std::regex(R"((system_clock)|(steady_clock)|(high_resolution_clock)|(\bgettimeofday\b)|(\bclock_gettime\b)|(\blocaltime\b)|(\bgmtime\b)|(\btime\s*\(\s*(nullptr|NULL|0)\s*\)))"),
-           "wall-clock reads leak host time into simulation output; use "
-           "sim::TimeUs plumbed from the scenario clock",
-           [](const SourceFile&) { return true; }});
-      rules.push_back(
-          {"raw-thread",
-           std::regex(R"(std::j?thread\b(?!::))"),
-           "raw std::thread outside the scenario engine; route parallelism "
-           "through src/cloud/scenario.cc so determinism stays auditable",
-           [](const SourceFile& f) {
-             return !PathEndsWith(f, "cloud/scenario.cc");
-           }});
-      rules.push_back(
-          {"float-accumulator",
-           std::regex(R"(\bfloat\b)"),
-           "aggregate accumulators must be double or integer; float "
-           "rounding makes report numbers platform-dependent",
-           [](const SourceFile& f) {
-             return PathContains(f, "/entrada/") ||
-                    PathContains(f, "/analysis/");
-           }});
-      rules.push_back(
-          {"seed-plumbing",
-           std::regex(R"(\bRng\s+\w+\s*[({]\s*[0-9]|\bRng\s*[({]\s*[0-9])"),
-           "freshly invented seed; plumb the scenario seed (config/ctx) or "
-           "derive one with sim::SubstreamSeed",
-           [](const SourceFile& f) {
-             return PathContains(f, "/sim/") || PathContains(f, "/cloud/");
-           }});
-      rules.push_back(
-          {"hot-alloc",
-           std::regex(R"((\bToKey\s*\()|(\bToString\s*\()|(std::string\b))"),
-           "string construction in a hot-path-tagged file; key on the "
-           "cached Name hash + flat bytes (DESIGN.md §10), or add a "
-           "reasoned lint:allow(hot-alloc) for a genuinely cold line",
-           [](const SourceFile& f) {
-             for (const std::string& line : f.raw) {
-               if (line.find("lint:hot-path") != std::string::npos) {
-                 return true;
-               }
-             }
-             return false;
-           }});
-      rules.push_back(
-          {"fault-rng",
-           std::regex(R"(^(?!.*SubstreamSeed).*\bRng\s*(\w+\s*)?[({])"),
-           "fault-module Rng must be built from sim::SubstreamSeed on the "
-           "construction line; a stateful generator here breaks the "
-           "thread-count byte-identity of fault-enabled runs",
-           [](const SourceFile& f) {
-             return PathContains(f, "/sim/fault");
-           }});
-      return rules;
-    }();
-    for (const LineRule& rule : kRules) {
-      if (!rule.applies(file)) continue;
-      for (std::size_t i = 0; i < file.code.size(); ++i) {
-        if (std::regex_search(file.code[i], rule.pattern)) {
-          Report(file, i + 1, rule.rule, rule.message);
-        }
-      }
-    }
-  }
-
-  void UnorderedIterRule(const SourceFile& file) {
-    const bool emit_path = PathContains(file, "/capture/") ||
-                           PathContains(file, "/analysis/") ||
-                           PathContains(file, "/entrada/plan");
-    if (!emit_path) return;
-    std::set<std::string> unordered = UnorderedDeclarations(file);
-    if (unordered.empty()) return;
-    for (const RangeFor& loop : FindRangeFors(file)) {
-      std::string ident;
-      std::string hit;
-      for (std::size_t i = 0; i <= loop.range_expression.size(); ++i) {
-        char c = i < loop.range_expression.size() ? loop.range_expression[i]
-                                                  : ' ';
-        if (IsIdentChar(c)) {
-          ident += c;
-        } else {
-          if (!ident.empty() && unordered.count(ident)) hit = ident;
-          ident.clear();
-        }
-      }
-      if (!hit.empty()) {
-        Report(file, loop.line, "unordered-iter",
-               "iteration over unordered container `" + hit +
-                   "` in an emit path; hash order leaks into output — sort "
-                   "at the boundary or use std::map");
-      }
-    }
-  }
-
-  std::vector<Suppression> suppressions_;
-  std::vector<Violation> violations_;
-  std::size_t files_scanned_ = 0;
-  std::size_t suppressed_ = 0;
-};
-
-constexpr const char* kRuleNames[] = {
-    "no-rand",      "wall-clock",        "unordered-iter",
-    "raw-thread",   "float-accumulator", "seed-plumbing",
-    "fault-rng",    "hot-alloc",         "bad-suppression",
-};
+// Wall time of the pre-rewrite std::regex implementation over the same
+// tree (100 files, this container), kept in BENCH_lint.json so the
+// regex -> token-scan change stays visible in the perf trajectory.
+constexpr double kRegexBaselineWallSeconds = 0.716;
 
 bool IsSourceFile(const fs::path& path) {
   const std::string ext = path.extension().string();
   return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: clouddns_lint [--compdb <compile_commands.json>] "
+               "[--src-root <dir>] [--layers <layers.txt>] "
+               "[--json <out.json>] [--sarif <out.sarif>] [<root>...]\n");
+  return 2;
 }
 
 }  // namespace
@@ -470,64 +74,112 @@ bool IsSourceFile(const fs::path& path) {
 int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   std::string json_path;
+  std::string sarif_path;
+  std::string compdb_path;
+  std::string src_root;
+  std::string layers_path;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--compdb" && i + 1 < argc) {
+      compdb_path = argv[++i];
+    } else if (arg == "--src-root" && i + 1 < argc) {
+      src_root = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: clouddns_lint [--json <out.json>] <root>...\n");
-      return 2;
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "clouddns_lint: unknown flag %s\n", arg.c_str());
+      return Usage();
     } else {
       roots.push_back(std::move(arg));
     }
   }
-  if (roots.empty()) {
-    std::fprintf(stderr, "clouddns_lint: no roots given\n");
-    return 2;
+  if (roots.empty() && compdb_path.empty()) {
+    std::fprintf(stderr, "clouddns_lint: no roots and no --compdb given\n");
+    return Usage();
+  }
+  if (!compdb_path.empty() && src_root.empty()) {
+    std::fprintf(stderr, "clouddns_lint: --compdb requires --src-root\n");
+    return Usage();
   }
 
-  Linter linter;
-  std::vector<std::string> files;
+  std::string error;
+  std::set<std::string> paths;
+  if (!compdb_path.empty()) {
+    auto from_compdb = lint::FilesFromCompdb(compdb_path, src_root, &error);
+    if (!from_compdb) {
+      std::fprintf(stderr, "clouddns_lint: %s\n", error.c_str());
+      return 2;
+    }
+    paths.insert(from_compdb->begin(), from_compdb->end());
+  }
   for (const std::string& root : roots) {
     std::error_code ec;
     if (fs::is_regular_file(root, ec)) {
-      files.push_back(root);
+      paths.insert(root);
       continue;
     }
     for (fs::recursive_directory_iterator it(root, ec), end; it != end;
          it.increment(ec)) {
       if (ec) break;
       if (it->is_regular_file() && IsSourceFile(it->path())) {
-        files.push_back(it->path().string());
+        paths.insert(it->path().string());
       }
     }
     if (ec) {
-      std::fprintf(stderr, "clouddns_lint: cannot walk %s: %s\n",
-                   root.c_str(), ec.message().c_str());
+      std::fprintf(stderr, "clouddns_lint: cannot walk %s: %s\n", root.c_str(),
+                   ec.message().c_str());
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
 
-  for (const std::string& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+  const lint::LayerSpec* layers = nullptr;
+  std::optional<lint::LayerSpec> loaded_layers;
+  if (!layers_path.empty()) {
+    loaded_layers = lint::LayerSpec::Load(layers_path, &error);
+    if (!loaded_layers) {
+      std::fprintf(stderr, "clouddns_lint: %s\n", error.c_str());
+      return 2;
+    }
+    layers = &*loaded_layers;
+  }
+
+  const std::string generic_root =
+      src_root.empty() ? std::string() : fs::path(src_root).generic_string();
+  std::vector<lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    lint::SourceFile file;
+    if (!lint::LoadSourceFile(path, generic_root, file)) {
       std::fprintf(stderr, "clouddns_lint: cannot read %s\n", path.c_str());
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    SourceFile file;
-    file.path = path;
-    file.generic_path = fs::path(path).generic_string();
-    file.raw = SplitLines(buffer.str());
-    file.code = StripComments(file.raw);
-    linter.Lint(file);
+    files.push_back(std::move(file));
   }
 
-  for (const Violation& v : linter.violations()) {
+  lint::Reporter reporter;
+  for (lint::SourceFile& file : files) {
+    lint::RunTextRules(file, reporter);
+    lint::RunEscapePass(file, reporter);
+  }
+  std::size_t include_edges = 0;
+  lint::RunIncludeGraphPass(files, layers, reporter, &include_edges);
+
+  std::set<std::string> active_rules;
+  for (const lint::RuleInfo& rule : lint::kRules) {
+    active_rules.insert(rule.id);
+  }
+  if (layers == nullptr) active_rules.erase("layer-inversion");
+  reporter.FinalizeSuppressions(files, active_rules);
+  reporter.Sort();
+
+  for (const lint::Violation& v : reporter.violations()) {
     std::fprintf(stderr, "%s:%zu: error: [%s] %s\n", v.file.c_str(), v.line,
                  v.rule.c_str(), v.message.c_str());
   }
@@ -537,9 +189,22 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "clouddns_lint: %zu files, %zu rules, %zu violation(s), "
                "%zu suppressed, %.3fs\n",
-               linter.files_scanned(), std::size(kRuleNames),
-               linter.violations().size(), linter.suppressed(), wall);
+               files.size(), std::size(lint::kRules),
+               reporter.violations().size(), reporter.suppressed(), wall);
 
+  if (!sarif_path.empty()) {
+    // Repo-relative URIs: strip the src root's parent so results read
+    // "src/zone/zone.h" regardless of where the checkout lives.
+    std::string uri_base;
+    if (!generic_root.empty()) {
+      uri_base = fs::path(generic_root).parent_path().generic_string();
+    }
+    if (!lint::WriteSarif(sarif_path, reporter.violations(), uri_base)) {
+      std::fprintf(stderr, "clouddns_lint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+  }
   if (!json_path.empty()) {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
       std::fprintf(f,
@@ -547,12 +212,15 @@ int main(int argc, char** argv) {
                    "  \"name\": \"lint\",\n"
                    "  \"files_scanned\": %zu,\n"
                    "  \"rules\": %zu,\n"
+                   "  \"include_edges\": %zu,\n"
                    "  \"violations\": %zu,\n"
                    "  \"suppressed\": %zu,\n"
-                   "  \"wall_seconds\": %.3f\n"
+                   "  \"wall_seconds\": %.3f,\n"
+                   "  \"regex_baseline_wall_seconds\": %.3f\n"
                    "}\n",
-                   linter.files_scanned(), std::size(kRuleNames),
-                   linter.violations().size(), linter.suppressed(), wall);
+                   files.size(), std::size(lint::kRules), include_edges,
+                   reporter.violations().size(), reporter.suppressed(), wall,
+                   kRegexBaselineWallSeconds);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "clouddns_lint: cannot write %s\n",
@@ -560,5 +228,5 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return linter.violations().empty() ? 0 : 1;
+  return reporter.violations().empty() ? 0 : 1;
 }

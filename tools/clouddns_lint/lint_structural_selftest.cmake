@@ -1,0 +1,173 @@
+# Self-test for the structural passes of clouddns_lint: seed scratch
+# trees with a layering inversion, an include cycle, each borrowed-buffer
+# escape shape, and a stale suppression; assert each fires with the
+# expected rule id at the right file:line, and that two analyzer runs
+# produce a byte-identical SARIF report.
+#
+# Driven by ctest:
+#   cmake -DLINT=<path-to-clouddns_lint> -DWORK=<scratch-dir> \
+#     -P lint_structural_selftest.cmake
+
+if(NOT LINT OR NOT WORK)
+  message(FATAL_ERROR "pass -DLINT=<linter> and -DWORK=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+
+# --- Pass 1: layering inversion and include cycle -------------------------
+# Declared DAG: analysis may see dns, dns may see net. The seeded tree
+# has dns including an analysis header (an inversion — the declared path
+# runs the other way) and a two-header cycle inside net.
+set(layers "${WORK}/layers.txt")
+file(WRITE "${layers}" "net:
+dns: net
+analysis: dns net
+")
+file(WRITE "${WORK}/src/analysis/report.h" "#pragma once
+int ReportRows();
+")
+file(WRITE "${WORK}/src/dns/bad.cc" "#include \"analysis/report.h\"
+int Encode() { return ReportRows(); }
+")
+file(WRITE "${WORK}/src/net/a.h" "#include \"net/b.h\"
+struct A { B* peer; };
+")
+file(WRITE "${WORK}/src/net/b.h" "#include \"net/a.h\"
+struct B { A* peer; };
+")
+
+execute_process(
+  COMMAND "${LINT}" --layers "${layers}" --src-root "${WORK}/src"
+          "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR
+    "analyzer passed a tree with a layering inversion and a cycle")
+endif()
+if(NOT diagnostics MATCHES "bad.cc:1: error: .layer-inversion.")
+  message(FATAL_ERROR
+    "missing layer-inversion diagnostic in:\n${diagnostics}")
+endif()
+# The diagnostic must quote the declared reverse path, not just the edge.
+if(NOT diagnostics MATCHES "analysis -> dns")
+  message(FATAL_ERROR
+    "layer-inversion diagnostic lacks the declared path in:\n${diagnostics}")
+endif()
+if(NOT diagnostics MATCHES "a.h:1: error: .include-cycle.")
+  message(FATAL_ERROR
+    "missing include-cycle diagnostic in:\n${diagnostics}")
+endif()
+if(NOT diagnostics MATCHES "net/a.h -> net/b.h -> net/a.h")
+  message(FATAL_ERROR
+    "include-cycle diagnostic lacks the cycle chain in:\n${diagnostics}")
+endif()
+file(REMOVE_RECURSE "${WORK}/src")
+
+# --- Pass 2: borrowed-buffer escapes --------------------------------------
+# view_member.h stores a span in a member (borrow-member), the resolver
+# fixtures return a view over a scope-local buffer (borrow-return) and
+# member-assign a lambda capturing scratch by reference (lambda-borrow).
+file(WRITE "${WORK}/src/capture/view_member.h" "#pragma once
+#include <cstdint>
+#include <span>
+class Cursor {
+ public:
+  void Bind(std::span<const std::uint8_t> bytes);
+ private:
+  std::span<const std::uint8_t> view_;
+};
+")
+file(WRITE "${WORK}/src/resolver/borrow_return.cc" "#include <cstdint>
+#include <span>
+#include <vector>
+std::span<const std::uint8_t> Encode() {
+  std::vector<std::uint8_t> wire;
+  wire.push_back(0);
+  return std::span<const std::uint8_t>(wire.data(), wire.size());
+}
+")
+file(WRITE "${WORK}/src/resolver/lambda_borrow.cc" "#include <cstdint>
+#include <functional>
+#include <span>
+struct Sender {
+  std::function<void()> on_send_;
+  void Arm(std::span<const std::uint8_t> scratch) {
+    on_send_ = [&scratch] { (void)scratch.size(); };
+  }
+};
+")
+
+execute_process(
+  COMMAND "${LINT}" --src-root "${WORK}/src" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR "analyzer passed a tree with seeded escapes")
+endif()
+foreach(expected
+    "view_member.h:8: error: .borrow-member."
+    "borrow_return.cc:7: error: .borrow-return."
+    "lambda_borrow.cc:7: error: .lambda-borrow.")
+  if(NOT diagnostics MATCHES "${expected}")
+    message(FATAL_ERROR
+      "missing diagnostic matching '${expected}' in:\n${diagnostics}")
+  endif()
+endforeach()
+
+# --- SARIF determinism ----------------------------------------------------
+# Two runs over the same tree must produce byte-identical reports.
+execute_process(
+  COMMAND "${LINT}" --src-root "${WORK}/src" "${WORK}/src"
+          --sarif "${WORK}/run1.sarif"
+  RESULT_VARIABLE status1
+  ERROR_VARIABLE ignored
+  OUTPUT_VARIABLE ignored_out)
+execute_process(
+  COMMAND "${LINT}" --src-root "${WORK}/src" "${WORK}/src"
+          --sarif "${WORK}/run2.sarif"
+  RESULT_VARIABLE status2
+  ERROR_VARIABLE ignored
+  OUTPUT_VARIABLE ignored_out)
+if(NOT EXISTS "${WORK}/run1.sarif" OR NOT EXISTS "${WORK}/run2.sarif")
+  message(FATAL_ERROR "analyzer did not write the SARIF reports")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/run1.sarif" "${WORK}/run2.sarif"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "SARIF output is not byte-identical across runs")
+endif()
+file(READ "${WORK}/run1.sarif" sarif_text)
+if(NOT sarif_text MATCHES "\"version\": \"2.1.0\"" OR
+   NOT sarif_text MATCHES "\"ruleId\": \"borrow-member\"")
+  message(FATAL_ERROR "SARIF report is missing expected content:\n${sarif_text}")
+endif()
+file(REMOVE_RECURSE "${WORK}/src")
+
+# --- Stale suppression ----------------------------------------------------
+# A reasoned allow whose governed line no longer triggers the rule must
+# itself be flagged, so waivers cannot outlive the code they excused.
+file(WRITE "${WORK}/src/dns/stale.cc" "int Stale() {
+  int x = 0;  // lint:allow(no-rand): waiver kept after the rand call left
+  return x;
+}
+")
+execute_process(
+  COMMAND "${LINT}" --src-root "${WORK}/src" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR "analyzer passed a tree with a stale suppression")
+endif()
+if(NOT diagnostics MATCHES "stale.cc:2: error: .unused-suppression.")
+  message(FATAL_ERROR
+    "stale lint:allow was not flagged:\n${diagnostics}")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "lint structural selftest passed")

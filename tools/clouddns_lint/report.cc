@@ -1,0 +1,67 @@
+#include "report.h"
+
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+
+namespace lint {
+
+bool IsKnownRule(const std::string& rule) {
+  return std::any_of(std::begin(kRules), std::end(kRules),
+                     [&rule](const RuleInfo& info) { return rule == info.id; });
+}
+
+void Reporter::Report(SourceFile& file, std::size_t line,
+                      const std::string& rule, const std::string& message) {
+  for (Suppression& s : file.suppressions) {
+    if (s.line == line && s.rule == rule && s.has_reason) {
+      s.used = true;
+      ++suppressed_;
+      return;
+    }
+  }
+  violations_.push_back(Violation{file.path, line, rule, message});
+}
+
+void Reporter::ReportUnsuppressable(const SourceFile& file, std::size_t line,
+                                    const std::string& rule,
+                                    const std::string& message) {
+  violations_.push_back(Violation{file.path, line, rule, message});
+}
+
+void Reporter::FinalizeSuppressions(std::vector<SourceFile>& files,
+                                    const std::set<std::string>& active_rules) {
+  for (SourceFile& file : files) {
+    for (const Suppression& s : file.suppressions) {
+      if (!s.has_reason) {
+        ReportUnsuppressable(
+            file, s.comment_line, "bad-suppression",
+            "lint:allow(" + s.rule + ") needs a reason: `// lint:allow(" +
+                s.rule + "): <why this is safe>`");
+        continue;
+      }
+      if (!IsKnownRule(s.rule)) {
+        ReportUnsuppressable(file, s.comment_line, "bad-suppression",
+                             "lint:allow(" + s.rule +
+                                 ") names a rule this analyzer does not have");
+        continue;
+      }
+      if (!s.used && active_rules.count(s.rule) != 0) {
+        ReportUnsuppressable(
+            file, s.comment_line, "unused-suppression",
+            "lint:allow(" + s.rule + ") no longer matches a violation on line " +
+                std::to_string(s.line) + "; remove the stale waiver");
+      }
+    }
+  }
+}
+
+void Reporter::Sort() {
+  std::sort(violations_.begin(), violations_.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace lint

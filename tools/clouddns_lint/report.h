@@ -1,0 +1,107 @@
+// Violation collection shared by every pass: suppression matching, the
+// rule registry (ids + one-line summaries, reused by the SARIF writer),
+// and end-of-run bookkeeping (reasonless and stale suppressions).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+namespace lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the analyzer can emit, in SARIF registry order.
+inline constexpr RuleInfo kRules[] = {
+    {"no-rand",
+     "C library / <random> generators are nondeterministic across "
+     "platforms; draw from a plumbed sim::Rng instead"},
+    {"wall-clock",
+     "wall-clock reads leak host time into simulation output; use "
+     "sim::TimeUs plumbed from the scenario clock"},
+    {"unordered-iter",
+     "iteration over an unordered container in an emit path; hash order "
+     "leaks into output"},
+    {"raw-thread",
+     "raw std::thread outside the scenario engine; route parallelism "
+     "through src/cloud/scenario.cc"},
+    {"float-accumulator",
+     "aggregate accumulators must be double or integer; float rounding "
+     "makes report numbers platform-dependent"},
+    {"seed-plumbing",
+     "freshly invented seed; plumb the scenario seed or derive one with "
+     "sim::SubstreamSeed"},
+    {"fault-rng",
+     "fault-module Rng must be built from sim::SubstreamSeed on the "
+     "construction line"},
+    {"hot-alloc",
+     "string construction in a hot-path-tagged file; key on the cached "
+     "Name hash + flat bytes (DESIGN.md §10)"},
+    {"layer-inversion",
+     "include edge violates the declared module DAG (layers.txt)"},
+    {"include-cycle", "cyclic #include chain between source files"},
+    {"borrow-member",
+     "borrowed span/string_view stored in a data member; the view can "
+     "outlive the pooled buffer it points into (DESIGN.md §11)"},
+    {"borrow-return",
+     "span/string_view over a function-local buffer returned past the "
+     "buffer's scope (DESIGN.md §11)"},
+    {"lambda-borrow",
+     "escaping lambda captures a borrowed scratch view by reference; the "
+     "capture outlives the owning call (DESIGN.md §11)"},
+    {"bad-suppression", "lint:allow without a reason"},
+    {"unused-suppression",
+     "lint:allow whose governed line no longer triggers the rule; remove "
+     "the dead waiver"},
+};
+
+class Reporter {
+ public:
+  /// Records a violation unless a matching suppression governs `line`
+  /// (the suppression is marked used either way it matches).
+  void Report(SourceFile& file, std::size_t line, const std::string& rule,
+              const std::string& message);
+
+  /// Records a violation no suppression can silence (meta rules).
+  void ReportUnsuppressable(const SourceFile& file, std::size_t line,
+                            const std::string& rule,
+                            const std::string& message);
+
+  /// Emits bad-suppression for reasonless markers and unused-suppression
+  /// for markers whose governed line never triggered their rule. Rules
+  /// outside `active_rules` (e.g. layer-inversion without --layers) are
+  /// exempt from staleness, as are unknown rule names (typo'd markers are
+  /// reported as bad-suppression instead). Call once, after every pass.
+  void FinalizeSuppressions(std::vector<SourceFile>& files,
+                            const std::set<std::string>& active_rules);
+
+  /// Sorts violations by (file, line, rule, message) for deterministic
+  /// output; call before reading violations().
+  void Sort();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t suppressed() const { return suppressed_; }
+
+ private:
+  std::vector<Violation> violations_;
+  std::size_t suppressed_ = 0;
+};
+
+[[nodiscard]] bool IsKnownRule(const std::string& rule);
+
+}  // namespace lint

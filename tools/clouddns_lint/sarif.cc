@@ -1,0 +1,112 @@
+#include "sarif.h"
+
+#include <fstream>
+
+namespace lint {
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ResultUri(const std::string& file, const std::string& uri_base) {
+  std::string uri = file;
+  if (!uri_base.empty() && uri.compare(0, uri_base.size(), uri_base) == 0) {
+    uri.erase(0, uri_base.size());
+    while (!uri.empty() && uri.front() == '/') uri.erase(0, 1);
+  }
+  for (char& c : uri) {
+    if (c == '\\') c = '/';
+  }
+  return uri;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Violation>& violations,
+                        const std::string& uri_base) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"clouddns_lint\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/clouddns/clouddns\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const RuleInfo& rule : kRules) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + JsonEscape(rule.id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           JsonEscape(rule.summary) + "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Violation& violation : violations) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + JsonEscape(violation.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           JsonEscape(violation.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(ResultUri(violation.file, uri_base)) +
+           "\"}, \"region\": {\"startLine\": " +
+           std::to_string(violation.line) + "}}}]}";
+  }
+  if (!violations.empty()) out += "\n";
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+bool WriteSarif(const std::string& path,
+                const std::vector<Violation>& violations,
+                const std::string& uri_base) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << SarifReport(violations, uri_base);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lint

@@ -1,0 +1,26 @@
+// Deterministic SARIF 2.1.0 writer. The report is a function of the
+// sorted violation list and the static rule registry only — no
+// timestamps, no absolute paths, no environment — so two runs over the
+// same tree produce byte-identical files (asserted by the structural
+// selftest) and the artifact diffs cleanly in CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report.h"
+
+namespace lint {
+
+/// Renders the violations as one SARIF run. `uri_base` is stripped from
+/// violation paths to keep URIs repo-relative (pass the source root's
+/// parent, or empty to emit paths as-is).
+std::string SarifReport(const std::vector<Violation>& violations,
+                        const std::string& uri_base);
+
+/// Writes SarifReport() to `path`; returns false on I/O failure.
+bool WriteSarif(const std::string& path,
+                const std::vector<Violation>& violations,
+                const std::string& uri_base);
+
+}  // namespace lint

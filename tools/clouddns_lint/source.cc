@@ -1,0 +1,202 @@
+#include "source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace lint {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Strips // and /* */ comments and blanks string/char literal contents.
+/// Raw string literals are handled for the R"( ... )" delimiter-free form,
+/// which is the only shape the tree uses.
+std::vector<std::string> StripComments(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        code += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        code += quote;  // contents blanked
+        continue;
+      }
+      code += c;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// Parses every lint:allow marker on the raw lines. The reason (text
+/// after the closing parenthesis) is mandatory; reasonless markers are
+/// kept with has_reason=false so the driver can flag them.
+void ParseSuppressions(SourceFile& file) {
+  static const std::string kMarker = "lint:allow(";
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& line = file.raw[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kMarker, pos)) != std::string::npos) {
+      std::size_t cursor = pos + kMarker.size();
+      std::string rule;
+      while (cursor < line.size() &&
+             (std::islower(static_cast<unsigned char>(line[cursor])) ||
+              std::isdigit(static_cast<unsigned char>(line[cursor])) ||
+              line[cursor] == '-')) {
+        rule += line[cursor++];
+      }
+      pos = cursor;
+      if (rule.empty() || cursor >= line.size() || line[cursor] != ')') {
+        continue;
+      }
+      Suppression s;
+      s.rule = std::move(rule);
+      s.comment_line = i + 1;
+      // A comment-only line governs the next line; otherwise this line.
+      s.line = HasCode(file.code[i]) ? i + 1 : i + 2;
+      const std::string reason = line.substr(cursor + 1);
+      s.has_reason = std::any_of(reason.begin(), reason.end(), IsIdentChar);
+      file.suppressions.push_back(std::move(s));
+    }
+  }
+}
+
+void ComputeModule(SourceFile& file, const std::string& src_root) {
+  const std::string& p = file.generic_path;
+  std::size_t start = std::string::npos;
+  if (!src_root.empty() && p.size() > src_root.size() + 1 &&
+      p.compare(0, src_root.size(), src_root) == 0 &&
+      p[src_root.size()] == '/') {
+    start = src_root.size() + 1;
+  } else {
+    // Fall back to the last "/src/" component (selftest scratch trees).
+    std::size_t marker = p.rfind("/src/");
+    if (marker != std::string::npos) start = marker + 5;
+    if (p.compare(0, 4, "src/") == 0) start = 4;
+  }
+  if (start == std::string::npos || start >= p.size()) return;
+  file.rel = p.substr(start);
+  std::size_t slash = file.rel.find('/');
+  if (slash != std::string::npos) file.module = file.rel.substr(0, slash);
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool HasCode(const std::string& code_line) {
+  return std::any_of(code_line.begin(), code_line.end(), [](char c) {
+    return !std::isspace(static_cast<unsigned char>(c));
+  });
+}
+
+bool PathContains(const SourceFile& file, const std::string& fragment) {
+  return file.generic_path.find(fragment) != std::string::npos;
+}
+
+bool PathEndsWith(const SourceFile& file, const std::string& suffix) {
+  const std::string& p = file.generic_path;
+  return p.size() >= suffix.size() &&
+         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool WordAt(const std::string& text, std::size_t pos,
+            const std::string& word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  std::size_t end = pos + word.size();
+  return end >= text.size() || !IsIdentChar(text[end]);
+}
+
+std::size_t FindWord(const std::string& text, const std::string& word,
+                     std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    if (WordAt(text, pos, word)) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+FlatSource Flatten(const SourceFile& file) {
+  FlatSource flat;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    for (char c : file.code[i]) {
+      flat.text += c;
+      flat.line_of.push_back(i + 1);
+    }
+    flat.text += '\n';
+    flat.line_of.push_back(i + 1);
+  }
+  return flat;
+}
+
+bool LoadSourceFile(const std::string& path, const std::string& src_root,
+                    SourceFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out.path = path;
+  out.generic_path = std::filesystem::path(path).generic_string();
+  out.raw = SplitLines(buffer.str());
+  out.code = StripComments(out.raw);
+  for (const std::string& line : out.raw) {
+    if (line.find("lint:hot-path") != std::string::npos) {
+      out.hot_path = true;
+      break;
+    }
+  }
+  ParseSuppressions(out);
+  ComputeModule(out, src_root);
+  return true;
+}
+
+}  // namespace lint

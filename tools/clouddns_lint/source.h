@@ -1,0 +1,71 @@
+// Source model shared by every clouddns_lint pass: a file split into raw
+// lines and "code" lines (comments stripped, string/char literal contents
+// blanked), its module identity relative to the src/ root, and the parsed
+// `lint:allow` suppressions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+/// One `// lint:allow(<rule>): <reason>` marker.
+struct Suppression {
+  std::string rule;
+  std::size_t line = 0;          ///< Line the suppression governs (1-based).
+  std::size_t comment_line = 0;  ///< Line the marker itself sits on.
+  bool has_reason = false;
+  bool used = false;  ///< Set by Reporter when a violation matches.
+};
+
+struct SourceFile {
+  std::string path;          ///< As reported in diagnostics.
+  std::string generic_path;  ///< Forward-slash form for path matching.
+  std::string rel;           ///< Path relative to the src root ("zone/zone.h").
+  std::string module;        ///< First component of rel ("zone"); may be "".
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<Suppression> suppressions;
+  bool hot_path = false;  ///< Carries a `// lint:hot-path` tag.
+};
+
+/// A file's code lines joined into one string, with a map from flat
+/// offset back to 1-based line number — for rules whose syntax wraps
+/// lines (declarations, range-fors, lambdas).
+struct FlatSource {
+  std::string text;
+  std::vector<std::size_t> line_of;  ///< line_of[offset] = 1-based line.
+
+  [[nodiscard]] std::size_t LineAt(std::size_t offset) const {
+    return offset < line_of.size() ? line_of[offset] : 0;
+  }
+};
+
+[[nodiscard]] bool IsIdentChar(char c);
+[[nodiscard]] bool HasCode(const std::string& code_line);
+[[nodiscard]] bool PathContains(const SourceFile& file,
+                                const std::string& fragment);
+[[nodiscard]] bool PathEndsWith(const SourceFile& file,
+                                const std::string& suffix);
+
+/// True when text[pos..] spells `word` with identifier boundaries on both
+/// sides.
+[[nodiscard]] bool WordAt(const std::string& text, std::size_t pos,
+                          const std::string& word);
+
+/// First boundary-delimited occurrence of `word` at/after `from`, or npos.
+[[nodiscard]] std::size_t FindWord(const std::string& text,
+                                   const std::string& word,
+                                   std::size_t from = 0);
+
+[[nodiscard]] FlatSource Flatten(const SourceFile& file);
+
+/// Loads, strips, and annotates one file. `src_root` (generic form, no
+/// trailing slash, possibly empty) anchors rel/module; when the path is
+/// not under it, the last "/src/" path component is used instead.
+/// Returns false when the file cannot be read.
+bool LoadSourceFile(const std::string& path, const std::string& src_root,
+                    SourceFile& out);
+
+}  // namespace lint

@@ -1,0 +1,352 @@
+#include "text_rules.h"
+
+#include <cctype>
+#include <set>
+
+namespace lint {
+namespace {
+
+std::size_t SkipWs(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// `word` followed (after optional whitespace) by an opening parenthesis:
+/// the call-shaped forms `srand (`, `ToKey (`.
+bool HasCall(const std::string& line, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = FindWord(line, word, pos)) != std::string::npos) {
+    std::size_t after = SkipWs(line, pos + word.size());
+    if (after < line.size() && line[after] == '(') return true;
+    ++pos;
+  }
+  return false;
+}
+
+/// `word` followed by an *empty* call — `rand()`, `random ( )` — or, for
+/// `rand`, the qualified `std::rand` without parentheses.
+bool HasNullaryCall(const std::string& line, const std::string& word,
+                    bool allow_std_qualified) {
+  std::size_t pos = 0;
+  while ((pos = FindWord(line, word, pos)) != std::string::npos) {
+    if (allow_std_qualified && pos >= 5 &&
+        line.compare(pos - 5, 5, "std::") == 0) {
+      return true;
+    }
+    std::size_t after = SkipWs(line, pos + word.size());
+    if (after < line.size() && line[after] == '(' &&
+        SkipWs(line, after + 1) < line.size() &&
+        line[SkipWs(line, after + 1)] == ')') {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+bool MatchNoRand(const std::string& line) {
+  for (const char* token :
+       {"random_device", "mt19937", "minstd_rand", "default_random_engine"}) {
+    if (line.find(token) != std::string::npos) return true;
+  }
+  std::size_t pos = line.find("ranlux");
+  if (pos != std::string::npos && pos + 6 < line.size() &&
+      std::isdigit(static_cast<unsigned char>(line[pos + 6]))) {
+    return true;
+  }
+  return HasCall(line, "srand") || HasNullaryCall(line, "rand", true) ||
+         HasNullaryCall(line, "random", false);
+}
+
+bool MatchWallClock(const std::string& line) {
+  for (const char* token :
+       {"system_clock", "steady_clock", "high_resolution_clock"}) {
+    if (line.find(token) != std::string::npos) return true;
+  }
+  for (const char* word :
+       {"gettimeofday", "clock_gettime", "localtime", "gmtime"}) {
+    if (FindWord(line, word) != std::string::npos) return true;
+  }
+  // time(nullptr) / time(NULL) / time(0)
+  std::size_t pos = 0;
+  while ((pos = FindWord(line, "time", pos)) != std::string::npos) {
+    std::size_t cursor = SkipWs(line, pos + 4);
+    pos += 4;
+    if (cursor >= line.size() || line[cursor] != '(') continue;
+    cursor = SkipWs(line, cursor + 1);
+    for (const char* arg : {"nullptr", "NULL", "0"}) {
+      const std::size_t len = std::char_traits<char>::length(arg);
+      if (line.compare(cursor, len, arg) == 0 &&
+          SkipWs(line, cursor + len) < line.size() &&
+          line[SkipWs(line, cursor + len)] == ')') {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool MatchRawThread(const std::string& line) {
+  for (const char* token : {"std::thread", "std::jthread"}) {
+    const std::size_t len = std::char_traits<char>::length(token);
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+      std::size_t end = pos + len;
+      bool boundary = end >= line.size() ||
+                      (!IsIdentChar(line[end]) && line[end] != ':');
+      if (boundary) return true;
+      ++pos;
+    }
+  }
+  return false;
+}
+
+/// `Rng name(0x...` / `Rng(42` — a generator constructed from a bare
+/// numeric literal.
+bool MatchInventedSeed(const std::string& line) {
+  std::size_t pos = 0;
+  while ((pos = FindWord(line, "Rng", pos)) != std::string::npos) {
+    std::size_t cursor = SkipWs(line, pos + 3);
+    pos += 3;
+    while (cursor < line.size() && IsIdentChar(line[cursor])) ++cursor;
+    cursor = SkipWs(line, cursor);
+    if (cursor >= line.size() ||
+        (line[cursor] != '(' && line[cursor] != '{')) {
+      continue;
+    }
+    cursor = SkipWs(line, cursor + 1);
+    if (cursor < line.size() &&
+        std::isdigit(static_cast<unsigned char>(line[cursor]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Any `Rng ...(`/`Rng ...{` construction at all; the fault-rng rule
+/// additionally requires SubstreamSeed on the same line.
+bool MatchRngConstruction(const std::string& line) {
+  std::size_t pos = 0;
+  while ((pos = FindWord(line, "Rng", pos)) != std::string::npos) {
+    std::size_t cursor = SkipWs(line, pos + 3);
+    pos += 3;
+    while (cursor < line.size() && IsIdentChar(line[cursor])) ++cursor;
+    cursor = SkipWs(line, cursor);
+    if (cursor < line.size() && (line[cursor] == '(' || line[cursor] == '{')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchHotAlloc(const std::string& line) {
+  if (HasCall(line, "ToKey") || HasCall(line, "ToString")) return true;
+  // std::string with a word boundary after (std::string_view and
+  // std::stringstream stay legal).
+  std::size_t pos = 0;
+  while ((pos = line.find("std::string", pos)) != std::string::npos) {
+    std::size_t end = pos + 11;
+    if ((pos == 0 || !IsIdentChar(line[pos - 1])) &&
+        (end >= line.size() || !IsIdentChar(line[end]))) {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+/// Collects the names of variables/members declared with an unordered
+/// container type anywhere in the file (declarations may wrap lines).
+std::set<std::string> UnorderedDeclarations(const FlatSource& flat) {
+  std::set<std::string> names;
+  const std::string& text = flat.text;
+  static const std::string kTokens[] = {"unordered_map", "unordered_set"};
+  for (const std::string& token : kTokens) {
+    std::size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+      std::size_t cursor = pos + token.size();
+      pos = cursor;
+      // Balance the template argument list.
+      cursor = SkipWs(text, cursor);
+      if (cursor >= text.size() || text[cursor] != '<') continue;
+      int depth = 0;
+      while (cursor < text.size()) {
+        if (text[cursor] == '<') ++depth;
+        if (text[cursor] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++cursor;
+      }
+      if (cursor >= text.size()) continue;
+      ++cursor;  // past '>'
+      while (cursor < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[cursor])) ||
+              text[cursor] == '&')) {
+        ++cursor;
+      }
+      std::string ident;
+      while (cursor < text.size() && IsIdentChar(text[cursor])) {
+        ident += text[cursor++];
+      }
+      if (ident.empty()) continue;
+      cursor = SkipWs(text, cursor);
+      // A declaration introduces the name and then ends or initializes;
+      // `Type Fn::Name(` or `Type Name::member` are not declarations of
+      // an iterable variable.
+      if (cursor < text.size() && (text[cursor] == ';' || text[cursor] == '=' ||
+                                   text[cursor] == '{' || text[cursor] == ',' ||
+                                   text[cursor] == ')')) {
+        names.insert(ident);
+      }
+    }
+  }
+  return names;
+}
+
+struct RangeFor {
+  std::size_t line = 0;          ///< 1-based line of the `for` keyword.
+  std::string range_expression;  ///< Text after the loop's `:`.
+};
+
+/// Finds range-based for statements, tolerating statements that wrap
+/// lines. Classic three-clause fors (which contain a top-level `;`) are
+/// skipped.
+std::vector<RangeFor> FindRangeFors(const FlatSource& flat) {
+  std::vector<RangeFor> fors;
+  const std::string& text = flat.text;
+  std::size_t pos = 0;
+  while ((pos = text.find("for", pos)) != std::string::npos) {
+    bool word = WordAt(text, pos, "for");
+    std::size_t keyword_at = pos;
+    pos += 3;
+    if (!word) continue;
+    std::size_t open = text.find_first_not_of(" \t\n", pos);
+    if (open == std::string::npos || text[open] != '(') continue;
+    int depth = 0;
+    std::size_t cursor = open;
+    std::size_t colon = std::string::npos;
+    bool has_semicolon = false;
+    for (; cursor < text.size(); ++cursor) {
+      char c = text[cursor];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (depth == 1 && c == ';') has_semicolon = true;
+      if (depth == 1 && c == ':' && colon == std::string::npos) {
+        bool double_colon = (cursor > 0 && text[cursor - 1] == ':') ||
+                            (cursor + 1 < text.size() &&
+                             text[cursor + 1] == ':');
+        if (!double_colon) colon = cursor;
+      }
+    }
+    if (cursor >= text.size() || has_semicolon || colon == std::string::npos) {
+      continue;
+    }
+    fors.push_back(RangeFor{flat.LineAt(keyword_at),
+                            text.substr(colon + 1, cursor - colon - 1)});
+  }
+  return fors;
+}
+
+void UnorderedIterRule(SourceFile& file, Reporter& reporter) {
+  const bool emit_path = PathContains(file, "/capture/") ||
+                         PathContains(file, "/analysis/") ||
+                         PathContains(file, "/entrada/plan");
+  if (!emit_path) return;
+  const FlatSource flat = Flatten(file);
+  std::set<std::string> unordered = UnorderedDeclarations(flat);
+  if (unordered.empty()) return;
+  for (const RangeFor& loop : FindRangeFors(flat)) {
+    std::string ident;
+    std::string hit;
+    for (std::size_t i = 0; i <= loop.range_expression.size(); ++i) {
+      char c = i < loop.range_expression.size() ? loop.range_expression[i]
+                                                : ' ';
+      if (IsIdentChar(c)) {
+        ident += c;
+      } else {
+        if (!ident.empty() && unordered.count(ident)) hit = ident;
+        ident.clear();
+      }
+    }
+    if (!hit.empty()) {
+      reporter.Report(file, loop.line, "unordered-iter",
+                      "iteration over unordered container `" + hit +
+                          "` in an emit path; hash order leaks into output — "
+                          "sort at the boundary or use std::map");
+    }
+  }
+}
+
+}  // namespace
+
+void RunTextRules(SourceFile& file, Reporter& reporter) {
+  struct LineRule {
+    const char* rule;
+    bool (*matches)(const std::string&);
+    const char* message;
+    bool (*applies)(const SourceFile&);
+  };
+  static const LineRule kLineRules[] = {
+      {"no-rand", MatchNoRand,
+       "C library / <random> generators are nondeterministic across "
+       "platforms; draw from a plumbed sim::Rng instead",
+       [](const SourceFile&) { return true; }},
+      {"wall-clock", MatchWallClock,
+       "wall-clock reads leak host time into simulation output; use "
+       "sim::TimeUs plumbed from the scenario clock",
+       [](const SourceFile&) { return true; }},
+      {"raw-thread", MatchRawThread,
+       "raw std::thread outside the scenario engine; route parallelism "
+       "through src/cloud/scenario.cc so determinism stays auditable",
+       [](const SourceFile& f) {
+         return !PathEndsWith(f, "cloud/scenario.cc");
+       }},
+      {"float-accumulator",
+       [](const std::string& line) {
+         return FindWord(line, "float") != std::string::npos;
+       },
+       "aggregate accumulators must be double or integer; float "
+       "rounding makes report numbers platform-dependent",
+       [](const SourceFile& f) {
+         return PathContains(f, "/entrada/") || PathContains(f, "/analysis/");
+       }},
+      {"seed-plumbing", MatchInventedSeed,
+       "freshly invented seed; plumb the scenario seed (config/ctx) or "
+       "derive one with sim::SubstreamSeed",
+       [](const SourceFile& f) {
+         return PathContains(f, "/sim/") || PathContains(f, "/cloud/");
+       }},
+      {"fault-rng",
+       [](const std::string& line) {
+         return line.find("SubstreamSeed") == std::string::npos &&
+                MatchRngConstruction(line);
+       },
+       "fault-module Rng must be built from sim::SubstreamSeed on the "
+       "construction line; a stateful generator here breaks the "
+       "thread-count byte-identity of fault-enabled runs",
+       [](const SourceFile& f) { return PathContains(f, "/sim/fault"); }},
+      {"hot-alloc", MatchHotAlloc,
+       "string construction in a hot-path-tagged file; key on the "
+       "cached Name hash + flat bytes (DESIGN.md §10), or add a "
+       "reasoned lint:allow(hot-alloc) for a genuinely cold line",
+       [](const SourceFile& f) { return f.hot_path; }},
+  };
+  for (const LineRule& rule : kLineRules) {
+    if (!rule.applies(file)) continue;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      if (rule.matches(file.code[i])) {
+        reporter.Report(file, i + 1, rule.rule, rule.message);
+      }
+    }
+  }
+  UnorderedIterRule(file, reporter);
+}
+
+}  // namespace lint
