@@ -52,9 +52,12 @@ int main() {
     analysis::TextTable table({"year", "GOOGLE", "AMAZON", "MICROSOFT",
                                "FACEBOOK", "CLOUDFLARE", "5 CPs", "paper~"});
     for (int year : {2018, 2019, 2020}) {
-      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      auto result = bench::WithPhase(recorder, "simulate", [&] {
+        return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      });
       recorder.AddQueries(result.records.size());
-      auto shares = analysis::ComputeCloudShares(result);
+      auto shares = bench::WithScanPhase(
+          recorder, [&] { return analysis::ComputeCloudShares(result); });
       std::vector<std::string> row = {std::to_string(year)};
       for (std::size_t i = 0; i + 1 < shares.size(); ++i) {
         row.push_back(analysis::Percent(shares[i].share));
@@ -67,8 +70,13 @@ int main() {
     std::printf("\n[%s]\n%s", std::string(cloud::ToString(vantage)).c_str(),
                 table.Render().c_str());
     if (vantage == cloud::Vantage::kRoot) {
-      ReportRootAsRanking(
-          analysis::LoadOrRun(bench::StandardConfig(vantage, 2020)));
+      auto root = bench::WithPhase(recorder, "simulate", [&] {
+        return analysis::LoadOrRun(bench::StandardConfig(vantage, 2020));
+      });
+      // The rank sketch consumes records in merged order, so this is the
+      // one figure1 consumer that flattens — its merge share lands in
+      // phase_merge_seconds.
+      bench::WithScanPhase(recorder, [&] { ReportRootAsRanking(root); });
     }
   }
   std::printf(

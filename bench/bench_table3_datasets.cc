@@ -20,9 +20,12 @@ int main() {
   for (cloud::Vantage vantage :
        {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
     for (int year : {2018, 2019, 2020}) {
-      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      auto result = bench::WithPhase(recorder, "simulate", [&] {
+        return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      });
       recorder.AddQueries(result.records.size());
-      auto stats = analysis::ComputeDatasetStats(result);
+      auto stats = bench::WithScanPhase(
+          recorder, [&] { return analysis::ComputeDatasetStats(result); });
       auto paper_row = *analysis::paper::Table3(vantage, year);
       double paper_valid =
           paper_row.queries_valid_b / paper_row.queries_total_b;

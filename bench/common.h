@@ -15,6 +15,7 @@
 #include <new>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -24,14 +25,42 @@
 #include "base/thread_annotations.h"
 #include "analysis/experiments.h"
 #include "analysis/report.h"
+#include "capture/merge.h"
 #include "cloud/scenario.h"
 
 namespace clouddns::bench {
 
-/// Heap-allocation counter fed by the replacement operator new below.
+/// Heap-allocation counters fed by the replacement operator new below.
 /// Every bench binary is a single translation unit including this header,
 /// so the replacement is defined exactly once per binary.
-inline std::atomic<std::uint64_t> g_alloc_count{0};
+///
+/// The counter is sharded across cache-line-padded slots: scan workers now
+/// allocate concurrently on the shared pool, and a single shared atomic
+/// would bounce its cache line between workers on every allocation —
+/// distorting the very scaling numbers the bench exists to record. Each
+/// thread picks a slot round-robin on first use; AllocCount() sums them.
+struct AllocSlot {
+  alignas(64) std::atomic<std::uint64_t> count{0};
+};
+inline AllocSlot g_alloc_slots[16];
+inline std::atomic<std::size_t> g_alloc_slot_next{0};
+
+inline std::atomic<std::uint64_t>& AllocSlotOfThread() {
+  thread_local std::atomic<std::uint64_t>* slot =
+      &g_alloc_slots[g_alloc_slot_next.fetch_add(1, std::memory_order_relaxed) %
+                     (sizeof(g_alloc_slots) / sizeof(g_alloc_slots[0]))]
+           .count;
+  return *slot;
+}
+
+/// Total allocations across all threads since process start.
+inline std::uint64_t AllocCount() {
+  std::uint64_t total = 0;
+  for (const AllocSlot& slot : g_alloc_slots) {
+    total += slot.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
 
 }  // namespace clouddns::bench
 
@@ -59,7 +88,7 @@ inline std::atomic<std::uint64_t> g_alloc_count{0};
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
-  clouddns::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  clouddns::bench::AllocSlotOfThread().fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
   throw std::bad_alloc();
 }
@@ -113,7 +142,7 @@ class BenchRecorder {
   explicit BenchRecorder(std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     ResetPeakRss();
-    alloc_start_ = g_alloc_count.load(std::memory_order_relaxed);
+    alloc_start_ = AllocCount();
   }
   BenchRecorder(const BenchRecorder&) = delete;
   BenchRecorder& operator=(const BenchRecorder&) = delete;
@@ -139,6 +168,22 @@ class BenchRecorder {
     stats_.emplace_back(key, std::to_string(value));
   }
 
+  /// Accumulates wall time into a named pipeline phase (simulate / merge /
+  /// scan), emitted as `"phase_<name>_seconds"` so BENCH json proves where
+  /// the time went, not just how much there was. Repeated calls with the
+  /// same name add up.
+  void AddPhaseSeconds(const std::string& name, double seconds)
+      EXCLUDES(mu_) {
+    base::MutexLock lock(mu_);
+    for (auto& [key, total] : phases_) {
+      if (key == name) {
+        total += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
   ~BenchRecorder() EXCLUDES(mu_) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -151,8 +196,7 @@ class BenchRecorder {
       unsigned long long value = std::strtoull(env, &end, 10);
       if (end != env && value > 0) threads = static_cast<std::size_t>(value);
     }
-    const std::uint64_t allocs =
-        g_alloc_count.load(std::memory_order_relaxed) - alloc_start_;
+    const std::uint64_t allocs = AllocCount() - alloc_start_;
     const std::string path = "BENCH_" + name_ + ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fprintf(f,
@@ -179,6 +223,10 @@ class BenchRecorder {
 #else
       (void)allocs;
 #endif
+      for (const auto& [key, seconds] : phases_) {
+        std::fprintf(f, ",\n  \"phase_%s_seconds\": %.3f", key.c_str(),
+                     seconds);
+      }
       for (const auto& [key, value] : stats_) {
         std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
       }
@@ -194,17 +242,73 @@ class BenchRecorder {
   mutable base::Mutex mu_;
   std::uint64_t queries_ GUARDED_BY(mu_) = 0;
   std::vector<std::pair<std::string, std::string>> stats_ GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, double>> phases_ GUARDED_BY(mu_);
 };
 
-/// One measured point of the thread-scaling sweep.
+/// Runs `fn` and books its wall time into the named phase of `recorder`.
+/// Returns fn's result.
+template <typename Fn>
+auto WithPhase(BenchRecorder& recorder, const char* phase, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    recorder.AddPhaseSeconds(
+        phase, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  } else {
+    auto result = fn();
+    recorder.AddPhaseSeconds(
+        phase, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+    return result;
+  }
+}
+
+/// Runs an analysis callable and books its wall time split into the
+/// `scan` and `merge` phases — merge is the capture::MergeNanos delta
+/// (time flattening sharded captures), scan is everything else. With
+/// shard-wise analytics the merge share should be zero unless a consumer
+/// genuinely flattens.
+template <typename Fn>
+auto WithScanPhase(BenchRecorder& recorder, Fn&& fn) {
+  const std::uint64_t merge_start = capture::MergeNanos();
+  const auto start = std::chrono::steady_clock::now();
+  auto book = [&] {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    const double merge =
+        static_cast<double>(capture::MergeNanos() - merge_start) * 1e-9;
+    recorder.AddPhaseSeconds("scan", wall > merge ? wall - merge : 0.0);
+    recorder.AddPhaseSeconds("merge", merge);
+  };
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    book();
+  } else {
+    auto result = fn();
+    book();
+    return result;
+  }
+}
+
+/// One measured point of the thread-scaling sweep. Phase split: `merge` is
+/// time inside the capture K-way/ladder merge (capture::MergeNanos delta —
+/// zero when analytics scan shard-wise), `scan` is the rest of the analyze
+/// wall time.
 struct ScalingPoint {
   std::size_t threads = 0;
   double wall_seconds = 0;
+  double scan_seconds = 0;
+  double merge_seconds = 0;
   std::uint64_t queries = 0;
 };
 
-/// The sweep is opt-in: it re-analyzes every dataset 4x, which is noise
-/// for the default single-shot bench run.
+/// The sweep is opt-in: it re-analyzes every dataset 24x (4 thread counts
+/// x best-of-6 repeats), which is noise for the default single-shot bench
+/// run.
 inline bool ScalingSweepRequested() {
   return std::getenv("CLOUDDNS_SCALING") != nullptr;
 }
@@ -232,12 +336,14 @@ inline void WriteScalingResults(const std::string& bench_name,
     std::fclose(f);
   }
   for (const ScalingPoint& p : points) {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "  {\"name\": \"%s\", \"threads\": %zu, "
-                  "\"wall_seconds\": %.3f, \"queries\": %llu, "
+                  "\"wall_seconds\": %.3f, \"scan_seconds\": %.3f, "
+                  "\"merge_seconds\": %.3f, \"queries\": %llu, "
                   "\"queries_per_second\": %.0f}",
                   bench_name.c_str(), p.threads, p.wall_seconds,
+                  p.scan_seconds, p.merge_seconds,
                   static_cast<unsigned long long>(p.queries),
                   p.wall_seconds > 0
                       ? static_cast<double>(p.queries) / p.wall_seconds
@@ -258,9 +364,11 @@ inline void WriteScalingResults(const std::string& bench_name,
 /// Runs `analyze` (which must render its full analysis result to a string)
 /// over every dataset at 1/2/4/8 worker threads, asserting the rendered
 /// output is byte-identical across thread counts — the AnalysisPlan's
-/// chunk-ordered merge makes results thread-count-invariant, and this is
-/// the executable form of that contract. Timing per thread count goes to
-/// BENCH_scaling.json.
+/// worker-ordered fold makes results thread-count-invariant, and this is
+/// the executable form of that contract. Each point is measured six
+/// times and the fastest repeat kept (scheduler noise otherwise swamps
+/// the single-digit-millisecond analyze times). Timing per thread count,
+/// split into scan and merge phases, goes to BENCH_scaling.json.
 template <typename AnalyzeFn>
 void RunScalingSweep(const std::string& bench_name,
                      const std::vector<cloud::ScenarioResult>& datasets,
@@ -274,28 +382,44 @@ void RunScalingSweep(const std::string& bench_name,
     setenv("CLOUDDNS_THREADS", std::to_string(threads).c_str(), 1);
     ScalingPoint point;
     point.threads = threads;
-    std::string rendered;
-    const auto start = std::chrono::steady_clock::now();
-    for (const auto& dataset : datasets) {
-      rendered += analyze(dataset);
-      point.queries += dataset.records.size();
+    bool measured = false;
+    for (int repeat = 0; repeat < 6; ++repeat) {
+      std::string rendered;
+      std::uint64_t queries = 0;
+      const std::uint64_t merge_start = capture::MergeNanos();
+      const auto start = std::chrono::steady_clock::now();
+      for (const auto& dataset : datasets) {
+        rendered += analyze(dataset);
+        queries += dataset.records.size();
+      }
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double merge = static_cast<double>(capture::MergeNanos() -
+                                               merge_start) *
+                           1e-9;
+      if (baseline.empty()) {
+        baseline = rendered;
+      } else if (rendered != baseline) {
+        std::fprintf(stderr,
+                     "FATAL: %s analysis output at %zu threads differs from "
+                     "the 1-thread rendering — thread-count invariance is "
+                     "broken\n",
+                     bench_name.c_str(), threads);
+        std::abort();
+      }
+      if (!measured || wall < point.wall_seconds) {
+        measured = true;
+        point.wall_seconds = wall;
+        point.merge_seconds = merge;
+        point.scan_seconds = wall > merge ? wall - merge : 0.0;
+        point.queries = queries;
+      }
     }
-    point.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    if (baseline.empty()) {
-      baseline = rendered;
-    } else if (rendered != baseline) {
-      std::fprintf(stderr,
-                   "FATAL: %s analysis output at %zu threads differs from "
-                   "the 1-thread rendering — thread-count invariance is "
-                   "broken\n",
-                   bench_name.c_str(), threads);
-      std::abort();
-    }
-    std::printf("  threads=%zu  %8.3fs  %12.0f q/s\n", threads,
-                point.wall_seconds,
+    std::printf("  threads=%zu  %8.3fs (scan %.3fs, merge %.3fs)  %12.0f q/s\n",
+                threads, point.wall_seconds, point.scan_seconds,
+                point.merge_seconds,
                 point.wall_seconds > 0
                     ? static_cast<double>(point.queries) / point.wall_seconds
                     : 0.0);

@@ -25,8 +25,10 @@ int main() {
   std::printf("capturing a scaled .nl week...\n");
   cloud::ScenarioResult week = cloud::RunScenario(config);
 
+  // Exports need the single time-ordered stream, so flatten explicitly
+  // (merged once, memoized; analytics would scan the shards in place).
   const std::string raw_path = "/tmp/clouddns_example_raw.cdns";
-  capture::WriteCaptureFile(raw_path, week.records);
+  capture::WriteCaptureFile(raw_path, week.records.Flatten());
   std::printf("wrote %zu records to %s\n", week.records.size(),
               raw_path.c_str());
 
@@ -34,7 +36,7 @@ int main() {
   capture::Anonymizer anonymizer(/*key=*/0x5eed);
   const std::string anon_path = "/tmp/clouddns_example_anon.cdns";
   capture::WriteCaptureFile(anon_path,
-                            anonymizer.AnonymizeCapture(week.records));
+                            anonymizer.AnonymizeCapture(week.records.Flatten()));
   std::printf("anonymized copy at %s\n", anon_path.c_str());
 
   // --- analysis side (only the anonymized file + the mapped routing

@@ -37,13 +37,18 @@ std::vector<ChaosSeriesPoint> DailyCaptureSeries(
   for (std::size_t d = 0; d < days; ++d) {
     series[d].day_start = start + d * sim::kMicrosPerDay;
   }
-  auto accumulate = [&](const capture::CaptureBuffer& records,
+  // Scan shard-wise: day bucketing only adds counts, so visiting records
+  // in per-shard rather than merged order changes nothing — and skips the
+  // flatten entirely.
+  auto accumulate = [&](const capture::ShardedCapture& records,
                         std::uint64_t ChaosSeriesPoint::* field) {
-    for (const auto& record : records) {
-      if (record.time_us < start || record.time_us >= end) continue;
-      std::size_t d = static_cast<std::size_t>((record.time_us - start) /
-                                               sim::kMicrosPerDay);
-      series[d].*field += 1;
+    for (std::size_t s = 0; s < records.shard_count(); ++s) {
+      for (const auto& record : records.shard(s)) {
+        if (record.time_us < start || record.time_us >= end) continue;
+        std::size_t d = static_cast<std::size_t>((record.time_us - start) /
+                                                 sim::kMicrosPerDay);
+        series[d].*field += 1;
+      }
     }
   };
   accumulate(baseline.records, &ChaosSeriesPoint::baseline_captured);

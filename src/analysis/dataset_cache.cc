@@ -6,6 +6,7 @@
 
 #include "analysis/context_cache.h"
 #include "capture/columnar.h"
+#include "capture/sharded.h"
 
 namespace clouddns::analysis {
 namespace {
@@ -90,13 +91,23 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
   const std::string context_path =
       cache_dir + "/" + CacheKey(config) + ".ctx";
 
+  // Shard-structure sidecar: the `.cdns` capture stays the flat,
+  // merge-ordered stream it always was (byte-identical across versions);
+  // the `.shards` file records each record's shard in merge order so a
+  // warm load can rebuild the exact sharded view the simulation produced
+  // and analytics can keep scanning shard-wise. Missing sidecar (older
+  // caches) degrades to a single-shard view with identical results.
+  const std::string shard_path =
+      cache_dir + "/" + CacheKey(config) + ".shards";
+
   if (auto cached = capture::ReadCaptureFile(path)) {
     // Fast path: the context sidecar restores the AS database, PTR
     // records and server metadata directly — no simulation at all.
     cloud::ScenarioResult result;
     if (LoadScenarioContext(context_path, result)) {
       result.config = config;
-      result.records = std::move(*cached);
+      result.records = capture::ReshardFromIndex(shard_path,
+                                                 std::move(*cached));
       return result;
     }
     // No (or stale) sidecar: rebuild the deterministic context by running
@@ -106,15 +117,21 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
     result = cloud::RunScenario(dry);
     result.config = config;
     SaveScenarioContext(context_path, result);
-    result.records = std::move(*cached);
+    result.records = capture::ReshardFromIndex(shard_path,
+                                               std::move(*cached));
     return result;
   }
 
   cloud::ScenarioResult result = cloud::RunScenario(config);
-  if (!capture::WriteCaptureFile(path, result.records)) {
+  // FlattenCopy: write the merge-ordered stream without leaving a second
+  // full copy memoized inside the sharded view.
+  if (!capture::WriteCaptureFile(path, result.records.FlattenCopy())) {
     std::remove(path.c_str());
   } else {
     SaveScenarioContext(context_path, result);
+    if (!capture::WriteShardIndex(shard_path, result.records)) {
+      std::remove(shard_path.c_str());
+    }
   }
   return result;
 }

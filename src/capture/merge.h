@@ -1,11 +1,24 @@
 // Deterministic merging of capture streams. The parallel scenario engine
 // gives every simulation shard a private CaptureBuffer; this module joins
-// them into the single time-ordered stream the analytics layer consumes.
+// them into the single time-ordered stream that export paths consume.
 // The merge order is a contract: records sort by arrival time, with ties
 // broken by shard index (then by within-shard order), so the merged buffer
 // is byte-identical no matter how many threads executed the shards.
+//
+// MergeShards is a parallel ladder merge: adjacent shard pairs merge by
+// galloping over sorted sub-ranges and moving whole runs, level by level,
+// with the pairwise merges of one level running concurrently on the shared
+// base::ThreadPool. Keeping the lower-indexed buffer on the left of every
+// pairwise merge makes the ladder reproduce exactly the order the old
+// per-record heap merge produced (retained as MergeShardsHeap for the
+// equivalence tests and the bench_micro_merge old-vs-new comparison).
+// The strategy adapts to the hardware: the ladder moves every record
+// ceil(lg k) times, which only pays off when its rounds overlap on real
+// cores, so a >2-way merge with a single execution lane takes the
+// single-pass cursor merge instead — same output either way.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "capture/record.h"
@@ -24,5 +37,21 @@ void SortByTimeStable(CaptureBuffer& buffer);
 /// Ties across shards resolve to the lower shard index; the result is
 /// independent of thread scheduling. Consumes the inputs.
 [[nodiscard]] CaptureBuffer MergeShards(std::vector<CaptureBuffer>&& shards);
+
+/// Non-destructive MergeShards: copies the shard buffers, then merges.
+[[nodiscard]] CaptureBuffer MergeShardsCopy(
+    const std::vector<CaptureBuffer>& shards);
+
+/// The original per-record priority-queue K-way merge. Identical output to
+/// MergeShards by contract; kept as the reference implementation for the
+/// equivalence tests and as the "old" side of bench_micro_merge.
+[[nodiscard]] CaptureBuffer MergeShardsHeap(
+    std::vector<CaptureBuffer>&& shards);
+
+/// Cumulative wall time (nanoseconds) this process has spent inside
+/// MergeShards/MergeShardsHeap. Phase telemetry for the bench harness:
+/// a sweep point's merge cost is the delta across its analyze loop —
+/// which the sharded pipeline drives to zero.
+[[nodiscard]] std::uint64_t MergeNanos();
 
 }  // namespace clouddns::capture

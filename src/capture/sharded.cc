@@ -1,0 +1,243 @@
+#include "capture/sharded.h"
+
+// lint:hot-path
+// Flatten()/TakeFlat() are the merge boundary of the sharded pipeline
+// (DESIGN.md §13); everything else here must stay allocation-lean so that
+// wrapping a buffer in a ShardedCapture costs nothing over the raw vector.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <queue>
+#include <utility>
+
+#include "capture/merge.h"
+
+namespace clouddns::capture {
+namespace {
+
+constexpr char kShardIndexMagic[8] = {'C', 'D', 'N', 'S', 'S', 'H', 'R', 'D'};
+constexpr std::uint64_t kShardIndexVersion = 1;
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool GetVarint(const std::vector<std::uint8_t>& in, std::size_t& pos,
+               std::uint64_t& value) {
+  value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+ShardedCapture::ShardedCapture(CaptureBuffer flat) : size_(flat.size()) {
+  shards_.push_back(std::move(flat));
+}
+
+ShardedCapture ShardedCapture::FromShards(std::vector<CaptureBuffer> shards) {
+  ShardedCapture result;
+  result.shards_ = std::move(shards);
+  for (const CaptureBuffer& shard : result.shards_) {
+    result.size_ += shard.size();
+  }
+  return result;
+}
+
+const CaptureBuffer& ShardedCapture::Flatten() const {
+  if (shards_.size() == 1) return shards_.front();
+  if (!flat_valid_) {
+    flat_ = MergeShardsCopy(shards_);
+    flat_valid_ = true;
+  }
+  return flat_;
+}
+
+CaptureBuffer ShardedCapture::FlattenCopy() const {
+  if (shards_.size() == 1) return shards_.front();
+  if (flat_valid_) return flat_;
+  return MergeShardsCopy(shards_);
+}
+
+CaptureBuffer ShardedCapture::TakeFlat() && {
+  CaptureBuffer out;
+  if (flat_valid_) {
+    out = std::move(flat_);
+    flat_valid_ = false;
+  } else if (shards_.size() == 1) {
+    out = std::move(shards_.front());
+  } else {
+    out = MergeShards(std::move(shards_));
+  }
+  shards_.clear();
+  size_ = 0;
+  return out;
+}
+
+void ShardedCapture::push_back(CaptureRecord record) {
+  if (shards_.size() > 1) {
+    // Collapse to the flattened stream first: appending to a multi-shard
+    // view must behave exactly like appending to its Flatten() result.
+    CaptureBuffer flat =
+        flat_valid_ ? std::move(flat_) : MergeShards(std::move(shards_));
+    shards_.clear();
+    shards_.push_back(std::move(flat));
+  }
+  if (shards_.empty()) shards_.emplace_back();
+  shards_.front().push_back(std::move(record));
+  size_ = shards_.front().size();
+  flat_valid_ = false;
+  CaptureBuffer().swap(flat_);
+}
+
+std::vector<std::uint32_t> ShardedCapture::MergeOrderShardIds() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(size_);
+  if (shards_.size() == 1) {
+    ids.assign(size_, 0);
+    return ids;
+  }
+  // Same cursor walk as the heap merge: emit the shard index instead of
+  // the record, so ids[i] names the shard of Flatten()[i].
+  struct Cursor {
+    sim::TimeUs time;
+    std::size_t shard;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    return a.time != b.time ? a.time > b.time : a.shard > b.shard;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+  std::vector<std::size_t> next(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].empty()) heap.push({shards_[s][0].time_us, s});
+  }
+  while (!heap.empty()) {
+    auto [time, s] = heap.top();
+    heap.pop();
+    ids.push_back(static_cast<std::uint32_t>(s));
+    if (++next[s] < shards_[s].size()) {
+      heap.push({shards_[s][next[s]].time_us, s});
+    }
+  }
+  return ids;
+}
+
+// lint:allow(hot-alloc): cache sidecar path string — cold I/O, not the scan loop
+bool WriteShardIndex(const std::string& path, const ShardedCapture& capture) {
+  const std::vector<std::uint32_t> ids = capture.MergeOrderShardIds();
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(64 + ids.size() / 32);
+  bytes.insert(bytes.end(), std::begin(kShardIndexMagic),
+               std::end(kShardIndexMagic));
+  PutVarint(bytes, kShardIndexVersion);
+  PutVarint(bytes, capture.shard_count());
+  PutVarint(bytes, capture.size());
+  // Run-length encode the merge-order shard ids: shard streams interleave
+  // at burst granularity, so runs are long and the sidecar stays tiny
+  // relative to the .cdns capture it annotates.
+  std::size_t i = 0;
+  while (i < ids.size()) {
+    std::size_t j = i;
+    while (j < ids.size() && ids[j] == ids[i]) ++j;
+    PutVarint(bytes, ids[i]);
+    PutVarint(bytes, j - i);
+    i = j;
+  }
+
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
+    return false;
+  }
+  return true;
+}
+
+// lint:allow(hot-alloc): cache sidecar path string — cold I/O, not the scan loop
+ShardedCapture ReshardFromIndex(const std::string& path, CaptureBuffer flat) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return ShardedCapture(std::move(flat));
+
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file.get())) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+
+  std::size_t pos = sizeof(kShardIndexMagic);
+  if (bytes.size() < pos ||
+      !std::equal(std::begin(kShardIndexMagic), std::end(kShardIndexMagic),
+                  bytes.begin())) {
+    return ShardedCapture(std::move(flat));
+  }
+  std::uint64_t version = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t record_count = 0;
+  if (!GetVarint(bytes, pos, version) || version != kShardIndexVersion ||
+      !GetVarint(bytes, pos, shard_count) ||
+      !GetVarint(bytes, pos, record_count) || shard_count == 0 ||
+      record_count != flat.size()) {
+    return ShardedCapture(std::move(flat));
+  }
+
+  // Decode and validate all runs before moving a single record, so a
+  // truncated or mismatched sidecar falls back cleanly.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> runs;
+  std::vector<std::size_t> shard_sizes(
+      static_cast<std::size_t>(shard_count), 0);
+  std::uint64_t covered = 0;
+  while (pos < bytes.size()) {
+    std::uint64_t shard = 0;
+    std::uint64_t length = 0;
+    if (!GetVarint(bytes, pos, shard) || !GetVarint(bytes, pos, length) ||
+        shard >= shard_count || length == 0 ||
+        length > record_count - covered) {
+      return ShardedCapture(std::move(flat));
+    }
+    runs.emplace_back(static_cast<std::uint32_t>(shard), length);
+    shard_sizes[static_cast<std::size_t>(shard)] +=
+        static_cast<std::size_t>(length);
+    covered += length;
+  }
+  if (covered != record_count) return ShardedCapture(std::move(flat));
+
+  // Each shard's records form a subsequence of the time-sorted flat
+  // stream, so every rebuilt shard buffer is itself time-sorted and the
+  // re-merge reproduces `flat` byte-for-byte.
+  std::vector<CaptureBuffer> shards(static_cast<std::size_t>(shard_count));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].reserve(shard_sizes[s]);
+  }
+  std::size_t offset = 0;
+  for (const auto& [shard, length] : runs) {
+    auto first = flat.begin() + static_cast<std::ptrdiff_t>(offset);
+    auto last = first + static_cast<std::ptrdiff_t>(length);
+    shards[shard].insert(shards[shard].end(), std::make_move_iterator(first),
+                         std::make_move_iterator(last));
+    offset += static_cast<std::size_t>(length);
+  }
+  return ShardedCapture::FromShards(std::move(shards));
+}
+
+}  // namespace clouddns::capture

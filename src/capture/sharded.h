@@ -1,0 +1,114 @@
+// A capture stream that STAYS sharded from simulation through analytics
+// (DESIGN.md §13). The scenario engine produces one time-sorted buffer per
+// simulation shard; most consumers (the fused AnalysisPlan, the chaos
+// day-bucketing) only need per-record access in any deterministic order,
+// so they scan the shard buffers in place and never pay the K-way merge or
+// the merged-buffer allocation. Consumers that genuinely need the single
+// time-ordered stream — pcap/columnar export, row-wise encode, rank
+// sketches — ask for Flatten(), which merges once under the existing
+// (time, shard index, within-shard order) contract and memoizes the
+// result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/record.h"
+
+namespace clouddns::capture {
+
+class ShardedCapture {
+ public:
+  ShardedCapture() = default;
+
+  /// Wraps an already-flat (merged or externally loaded) buffer as a
+  /// single-shard view. Implicit on purpose: a plain CaptureBuffer is a
+  /// valid degenerate sharding, which keeps file loads and hand-built
+  /// test fixtures source-compatible.
+  ShardedCapture(CaptureBuffer flat);  // NOLINT(google-explicit-constructor)
+
+  /// Adopts per-shard buffers from the scenario engine. Each buffer must
+  /// already be time-sorted (the engine's per-shard harvest contract);
+  /// empty shards are kept so shard indices stay meaningful.
+  [[nodiscard]] static ShardedCapture FromShards(
+      std::vector<CaptureBuffer> shards);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const CaptureBuffer& shard(std::size_t index) const {
+    return shards_[index];
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// The single time-ordered stream: records sort by arrival time, ties
+  /// resolve to the lower shard index, within-shard order is kept. Merged
+  /// on first use and memoized (the shard buffers are retained untouched).
+  /// Not safe to race with other member calls on the same object.
+  const CaptureBuffer& Flatten() const;
+
+  /// Like Flatten(), but returns a fresh buffer and leaves no memo behind
+  /// — for one-shot exports that should not double the resident set.
+  [[nodiscard]] CaptureBuffer FlattenCopy() const;
+
+  /// Destructively extracts the flattened stream (moves records out).
+  [[nodiscard]] CaptureBuffer TakeFlat() &&;
+
+  /// Compatibility bridge for APIs taking `const CaptureBuffer&`
+  /// (CountBy, WriteCaptureFile, ...). Flattens — prefer shard-wise
+  /// iteration in anything hot.
+  operator const CaptureBuffer&() const {  // NOLINT
+    return Flatten();
+  }
+
+  // Vector-style access in flattened (time, shard) order.
+  [[nodiscard]] CaptureBuffer::const_iterator begin() const {
+    return Flatten().begin();
+  }
+  [[nodiscard]] CaptureBuffer::const_iterator end() const {
+    return Flatten().end();
+  }
+  [[nodiscard]] const CaptureRecord& operator[](std::size_t index) const {
+    return Flatten()[index];
+  }
+  [[nodiscard]] const CaptureRecord& front() const { return Flatten().front(); }
+  [[nodiscard]] const CaptureRecord& back() const { return Flatten().back(); }
+
+  /// Appends a record, collapsing to a single-shard view first if needed.
+  /// Fixture-building convenience; the engine never appends post-merge.
+  void push_back(CaptureRecord record);
+
+  /// Streams compare in flattened order: two captures are equal when they
+  /// yield the same time-ordered record sequence, regardless of how the
+  /// records are distributed across shards.
+  friend bool operator==(const ShardedCapture& a, const ShardedCapture& b) {
+    return a.Flatten() == b.Flatten();
+  }
+
+  /// The shard index of every record in flattened order — the payload of
+  /// the `.shards` cache sidecar.
+  [[nodiscard]] std::vector<std::uint32_t> MergeOrderShardIds() const;
+
+ private:
+  std::vector<CaptureBuffer> shards_;
+  std::size_t size_ = 0;
+  mutable CaptureBuffer flat_;
+  mutable bool flat_valid_ = false;
+};
+
+/// Writes the run-length-encoded shard-id stream of `capture` (in merge
+/// order) to `path`. The main `.cdns` capture file stays byte-identical;
+/// this sidecar is purely additive, letting a later load rebuild the exact
+/// shard structure.
+bool WriteShardIndex(const std::string& path, const ShardedCapture& capture);
+
+/// Re-partitions a flat, merge-ordered buffer into the shard structure
+/// recorded at `path`. Each shard subsequence of the sorted stream is
+/// itself sorted, so re-merging reproduces `flat` byte-for-byte. Returns a
+/// single-shard view when the sidecar is missing, malformed, or does not
+/// match `flat` (older caches keep working, just without scan parallelism).
+[[nodiscard]] ShardedCapture ReshardFromIndex(const std::string& path,
+                                              CaptureBuffer flat);
+
+}  // namespace clouddns::capture

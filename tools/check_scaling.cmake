@@ -1,0 +1,53 @@
+# Gate on the thread-scaling sweep: for every bench in BENCH_scaling.json,
+# 8-thread throughput must be at least 1-thread throughput. The sharded
+# pipeline has no serial merge barrier left, so adding workers must never
+# cost queries/second — a regression here means a new serial section or
+# false sharing crept into the hot path.
+#
+# Usage: cmake -DSCALING_JSON=path/to/BENCH_scaling.json -P check_scaling.cmake
+if(NOT DEFINED SCALING_JSON)
+  set(SCALING_JSON "BENCH_scaling.json")
+endif()
+if(NOT EXISTS "${SCALING_JSON}")
+  message(FATAL_ERROR "scaling results not found: ${SCALING_JSON} "
+                      "(run the benches with CLOUDDNS_SCALING=1 first)")
+endif()
+
+# One JSON object per line; parsed with MATCHALL on the raw content because
+# cmake list semantics choke on the surrounding [ ] array brackets.
+file(READ "${SCALING_JSON}" content)
+string(REGEX MATCHALL "\\{[^\n]*\\}" entries "${content}")
+set(benches "")
+foreach(entry IN LISTS entries)
+  if(NOT entry MATCHES "\"name\": \"([^\"]+)\", \"threads\": ([0-9]+), .*\"queries_per_second\": ([0-9]+)")
+    continue()
+  endif()
+  set(bench "${CMAKE_MATCH_1}")
+  set(threads "${CMAKE_MATCH_2}")
+  set(qps "${CMAKE_MATCH_3}")
+  list(APPEND benches "${bench}")
+  set(qps_${bench}_${threads} "${qps}")
+endforeach()
+list(REMOVE_DUPLICATES benches)
+if(benches STREQUAL "")
+  message(FATAL_ERROR "no sweep entries parsed from ${SCALING_JSON}")
+endif()
+
+set(failed FALSE)
+foreach(bench IN LISTS benches)
+  if(NOT DEFINED qps_${bench}_1 OR NOT DEFINED qps_${bench}_8)
+    message(FATAL_ERROR "${bench}: sweep is missing the 1- or 8-thread point")
+  endif()
+  set(one "${qps_${bench}_1}")
+  set(eight "${qps_${bench}_8}")
+  if(eight LESS one)
+    message(SEND_ERROR "${bench}: 8-thread throughput regressed below "
+                       "1-thread (${eight} q/s < ${one} q/s)")
+    set(failed TRUE)
+  else()
+    message(STATUS "${bench}: 1T=${one} q/s, 8T=${eight} q/s — monotonic")
+  endif()
+endforeach()
+if(failed)
+  message(FATAL_ERROR "thread scaling is no longer monotonic")
+endif()
