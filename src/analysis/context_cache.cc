@@ -1,7 +1,5 @@
 #include "analysis/context_cache.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 namespace clouddns::analysis {
@@ -28,10 +26,12 @@ bool ReadTagged(std::istream& in, const char* tag, std::string& rest) {
   return true;
 }
 
+bool ParseScenarioContext(std::istream& in, cloud::ScenarioResult& result);
+
 }  // namespace
 
-bool SaveScenarioContext(const std::string& path,
-                         const cloud::ScenarioResult& result) {
+base::io::IoStatus SaveScenarioContextStatus(
+    const std::string& path, const cloud::ScenarioResult& result) {
   std::ostringstream out;
   out << kMagic << " v" << kVersion << "\n";
   out << "window " << result.window_start << " " << result.window_end << "\n";
@@ -83,30 +83,37 @@ bool SaveScenarioContext(const std::string& path,
       << result.robustness.served_stale << "\n";
   out << "end\n";
 
-  // Write-then-rename so a crashed writer never leaves a torn sidecar that
-  // every later load would have to reject.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) return false;
-    file << out.str();
-    if (!file.flush()) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  const std::string text = out.str();
+  std::vector<std::uint8_t> payload(text.begin(), text.end());
+  return base::io::WriteFramedFile(path, base::io::kTagContext, payload);
+}
+
+bool SaveScenarioContext(const std::string& path,
+                         const cloud::ScenarioResult& result) {
+  return SaveScenarioContextStatus(path, result).ok();
+}
+
+base::io::IoStatus LoadScenarioContextStatus(const std::string& path,
+                                             cloud::ScenarioResult& result) {
+  std::vector<std::uint8_t> payload;
+  base::io::IoStatus status =
+      base::io::ReadFramedFile(path, base::io::kTagContext, payload);
+  if (!status.ok()) return status;
+  std::istringstream in(std::string(payload.begin(), payload.end()));
+  if (ParseScenarioContext(in, result)) return base::io::IoStatus::Ok();
+  return base::io::IoStatus::Error(
+      base::io::IoCode::kPayloadCorrupt,
+      "context sidecar text malformed or version-mismatched");
 }
 
 bool LoadScenarioContext(const std::string& path,
                          cloud::ScenarioResult& result) {
-  std::ifstream in(path);
-  if (!in) return false;
+  return LoadScenarioContextStatus(path, result).ok();
+}
 
+namespace {
+
+bool ParseScenarioContext(std::istream& in, cloud::ScenarioResult& result) {
   std::string rest;
   if (!ReadTagged(in, kMagic, rest)) return false;
   if (rest != "v" + std::to_string(kVersion)) return false;
@@ -244,5 +251,7 @@ bool LoadScenarioContext(const std::string& path,
 
   return ReadTagged(in, "end", rest);
 }
+
+}  // namespace
 
 }  // namespace clouddns::analysis

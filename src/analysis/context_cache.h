@@ -10,22 +10,33 @@
 // The format is a version-tagged text file; loading a file with a
 // different version or any malformed section fails cleanly, and callers
 // fall back to the dry-rebuild path (which re-writes the sidecar).
+//
+// On disk the text payload rides inside the base::io checksummed frame
+// (tag kTagContext) and is landed with write-to-temp + fsync + atomic
+// rename; legacy unframed text sidecars still load.
 #pragma once
 
 #include <string>
 
+#include "base/io.h"
 #include "cloud/scenario.h"
 
 namespace clouddns::analysis {
 
-/// Writes everything but `records`/`config` to `path`. Returns false on
-/// I/O failure (callers should treat the sidecar as best-effort).
-bool SaveScenarioContext(const std::string& path,
-                         const cloud::ScenarioResult& result);
+/// Writes everything but `records`/`config` to `path`, framed and
+/// atomically renamed into place.
+[[nodiscard]] base::io::IoStatus SaveScenarioContextStatus(
+    const std::string& path, const cloud::ScenarioResult& result);
 
 /// Restores the context fields into `result`, leaving `records` and
-/// `config` untouched. Returns false (with `result` unspecified) when the
-/// file is missing, version-mismatched, or malformed.
+/// `config` untouched. kNotFound when missing; a corruption code when the
+/// frame or the text payload is damaged or version-mismatched.
+[[nodiscard]] base::io::IoStatus LoadScenarioContextStatus(
+    const std::string& path, cloud::ScenarioResult& result);
+
+/// Untyped wrappers kept for callers that only need success/failure.
+bool SaveScenarioContext(const std::string& path,
+                         const cloud::ScenarioResult& result);
 bool LoadScenarioContext(const std::string& path,
                          cloud::ScenarioResult& result);
 

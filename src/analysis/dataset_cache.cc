@@ -78,6 +78,41 @@ std::string CacheKey(const cloud::ScenarioConfig& config) {
   return buf;
 }
 
+namespace {
+
+/// A corruption code (vs kOk / kNotFound): the artifact exists but failed
+/// an integrity check and must be quarantined, never re-read.
+bool IsCorruption(const base::io::IoStatus& status) {
+  return !status.ok() && status.code != base::io::IoCode::kNotFound;
+}
+
+/// Structured recovery event, one line per integrity failure. Content is
+/// a pure function of the artifact state (no timestamps — the wall-clock
+/// determinism contract holds even for diagnostics).
+void LogRecoveryEvent(const char* artifact, const std::string& path,
+                      const base::io::IoStatus& status,
+                      const std::string& quarantined_to) {
+  std::fprintf(stderr,
+               "[storage-recovery] artifact=%s path=%s error=%s "
+               "quarantined=%s action=rebuild-from-simulation\n",
+               artifact, path.c_str(), status.ToString().c_str(),
+               quarantined_to.empty() ? "(removed)" : quarantined_to.c_str());
+}
+
+/// Quarantines a corrupt artifact and updates the counters.
+void QuarantineCorrupt(const char* artifact, const std::string& path,
+                       const base::io::IoStatus& status,
+                       base::io::StorageCounters& storage) {
+  ++storage.detected;
+  const std::string moved = base::io::QuarantineFile(
+      path, std::string(artifact) + " failed integrity check: " +
+                status.ToString());
+  if (!moved.empty()) ++storage.quarantined;
+  LogRecoveryEvent(artifact, path, status, moved);
+}
+
+}  // namespace
+
 cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
                                 const std::string& cache_dir) {
   config.client_queries = EffectiveQueryBudget(config.client_queries);
@@ -85,11 +120,16 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
 
   std::error_code ec;
   std::filesystem::create_directories(cache_dir, ec);
-  const std::string path =
-      cache_dir + "/" + CacheKey(config) + ".cdns";
 
-  const std::string context_path =
-      cache_dir + "/" + CacheKey(config) + ".ctx";
+  base::io::StorageCounters storage;
+  // Sweep temp files stranded by a crashed prior writer; they are never
+  // valid artifacts (a completed write renames its temp away).
+  storage.tmp_cleaned = static_cast<std::uint64_t>(
+      base::io::RemoveStrandedTmpFiles(cache_dir));
+
+  const std::string key = CacheKey(config);
+  const std::string path = cache_dir + "/" + key + ".cdns";
+  const std::string context_path = cache_dir + "/" + key + ".ctx";
 
   // Shard-structure sidecar: the `.cdns` capture stays the flat,
   // merge-ordered stream it always was (byte-identical across versions);
@@ -97,42 +137,92 @@ cloud::ScenarioResult LoadOrRun(cloud::ScenarioConfig config,
   // warm load can rebuild the exact sharded view the simulation produced
   // and analytics can keep scanning shard-wise. Missing sidecar (older
   // caches) degrades to a single-shard view with identical results.
-  const std::string shard_path =
-      cache_dir + "/" + CacheKey(config) + ".shards";
+  const std::string shard_path = cache_dir + "/" + key + ".shards";
 
-  if (auto cached = capture::ReadCaptureFile(path)) {
-    // Fast path: the context sidecar restores the AS database, PTR
-    // records and server metadata directly — no simulation at all.
-    cloud::ScenarioResult result;
-    if (LoadScenarioContext(context_path, result)) {
+  // ---- Load phase: verify every artifact, quarantine what fails. ------
+  capture::CaptureBuffer cached;
+  base::io::IoStatus capture_status =
+      capture::ReadCaptureFileStatus(path, cached);
+  if (IsCorruption(capture_status)) {
+    QuarantineCorrupt("capture", path, capture_status, storage);
+  }
+
+  bool capture_rebuilt = false;
+  bool shards_rebuilt = false;
+  if (capture_status.ok()) {
+    base::io::IoStatus shard_status;
+    capture::ShardedCapture records =
+        capture::ReshardFromIndex(shard_path, std::move(cached),
+                                  &shard_status);
+    if (IsCorruption(shard_status)) {
+      // The shard structure is only reproducible from simulation, so a
+      // corrupt sidecar forces the full cold rebuild below. The capture
+      // file itself is intact — it is rewritten (not counted as rebuilt)
+      // purely as a side effect of the uniform cold path.
+      QuarantineCorrupt("shard-index", shard_path, shard_status, storage);
+      shards_rebuilt = true;
+    } else {
+      // Warm path: the context sidecar restores the AS database, PTR
+      // records and server metadata directly — no simulation at all.
+      cloud::ScenarioResult result;
+      base::io::IoStatus context_status =
+          LoadScenarioContextStatus(context_path, result);
+      if (!context_status.ok()) {
+        if (IsCorruption(context_status)) {
+          QuarantineCorrupt("context", context_path, context_status, storage);
+        }
+        // Missing or quarantined sidecar: rebuild the deterministic
+        // context with a zero-query run, then persist it so the next
+        // load skips this.
+        cloud::ScenarioConfig dry = config;
+        dry.client_queries = 0;
+        result = cloud::RunScenario(dry);
+        if (SaveScenarioContextStatus(context_path, result).ok() &&
+            IsCorruption(context_status)) {
+          ++storage.rebuilt;
+          cloud::ScenarioResult reread;
+          if (LoadScenarioContextStatus(context_path, reread).ok()) {
+            ++storage.reverified;
+          }
+        }
+      }
       result.config = config;
-      result.records = capture::ReshardFromIndex(shard_path,
-                                                 std::move(*cached));
+      result.records = std::move(records);
+      result.storage = storage;
       return result;
     }
-    // No (or stale) sidecar: rebuild the deterministic context by running
-    // a zero-query scenario, then persist it so the next load skips this.
-    cloud::ScenarioConfig dry = config;
-    dry.client_queries = 0;
-    result = cloud::RunScenario(dry);
-    result.config = config;
-    SaveScenarioContext(context_path, result);
-    result.records = capture::ReshardFromIndex(shard_path,
-                                               std::move(*cached));
-    return result;
   }
+  capture_rebuilt = IsCorruption(capture_status);
 
+  // ---- Cold rebuild: run the simulation and rewrite every artifact. ---
   cloud::ScenarioResult result = cloud::RunScenario(config);
+  result.config = config;
   // FlattenCopy: write the merge-ordered stream without leaving a second
   // full copy memoized inside the sharded view.
-  if (!capture::WriteCaptureFile(path, result.records.FlattenCopy())) {
-    std::remove(path.c_str());
-  } else {
-    SaveScenarioContext(context_path, result);
-    if (!capture::WriteShardIndex(shard_path, result.records)) {
-      std::remove(shard_path.c_str());
+  if (capture::WriteCaptureFileStatus(path, result.records.FlattenCopy())
+          .ok()) {
+    if (capture_rebuilt) {
+      ++storage.rebuilt;
+      std::vector<std::uint8_t> payload;
+      if (base::io::ReadFramedFile(path, base::io::kTagCapture, payload)
+              .ok()) {
+        ++storage.reverified;
+      }
+    }
+    (void)SaveScenarioContextStatus(context_path, result);
+    if (capture::WriteShardIndexStatus(shard_path, result.records).ok()) {
+      if (shards_rebuilt) {
+        ++storage.rebuilt;
+        std::vector<std::uint8_t> payload;
+        if (base::io::ReadFramedFile(shard_path, base::io::kTagShards,
+                                     payload)
+                .ok()) {
+          ++storage.reverified;
+        }
+      }
     }
   }
+  result.storage = storage;
   return result;
 }
 

@@ -415,31 +415,41 @@ std::optional<CaptureBuffer> DecodeRowWise(
 }
 
 // lint:allow(hot-alloc): file path, once per capture file.
+base::io::IoStatus WriteCaptureFileStatus(const std::string& path,
+                                          const CaptureBuffer& records) {
+  return base::io::WriteFramedFile(path, base::io::kTagCapture,
+                                   EncodeColumnar(records));
+}
+
+// lint:allow(hot-alloc): file path, once per capture file.
 bool WriteCaptureFile(const std::string& path, const CaptureBuffer& records) {
-  std::vector<std::uint8_t> bytes = EncodeColumnar(records);
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return false;
-  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  return written == bytes.size();
+  return WriteCaptureFileStatus(path, records).ok();
+}
+
+// lint:allow(hot-alloc): file path, once per capture file.
+base::io::IoStatus ReadCaptureFileStatus(const std::string& path,
+                                         CaptureBuffer& out) {
+  std::vector<std::uint8_t> payload;
+  bool framed = false;
+  base::io::IoStatus status =
+      base::io::ReadFramedFile(path, base::io::kTagCapture, payload, &framed);
+  if (!status.ok()) return status;
+  std::optional<CaptureBuffer> decoded = DecodeColumnar(payload);
+  if (!decoded) {
+    return base::io::IoStatus::Error(
+        base::io::IoCode::kPayloadCorrupt,
+        framed ? "columnar payload rejected inside an intact frame"
+               : "legacy unframed columnar file rejected by the decoder");
+  }
+  out = std::move(*decoded);
+  return base::io::IoStatus::Ok();
 }
 
 // lint:allow(hot-alloc): file path, once per capture file.
 std::optional<CaptureBuffer> ReadCaptureFile(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
-  std::fseek(file, 0, SEEK_END);
-  long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(file);
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  std::size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  if (read != bytes.size()) return std::nullopt;
-  return DecodeColumnar(bytes);
+  CaptureBuffer records;
+  if (!ReadCaptureFileStatus(path, records).ok()) return std::nullopt;
+  return records;
 }
 
 }  // namespace clouddns::capture

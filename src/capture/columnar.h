@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "base/io.h"
 #include "capture/record.h"
 
 namespace clouddns::capture {
@@ -32,7 +33,17 @@ namespace clouddns::capture {
 [[nodiscard]] std::optional<CaptureBuffer> DecodeRowWise(
     const std::vector<std::uint8_t>& bytes);
 
-/// File helpers.
+/// File helpers. Writes go through base::io: the columnar payload is
+/// wrapped in the checksummed frame (tag kTagCapture) and landed with
+/// write-to-temp + fsync + atomic rename. Reads verify the frame before
+/// the columnar decoder runs; legacy unframed files (pre-framing caches)
+/// still load byte-identically.
+[[nodiscard]] base::io::IoStatus WriteCaptureFileStatus(
+    const std::string& path, const CaptureBuffer& records);
+[[nodiscard]] base::io::IoStatus ReadCaptureFileStatus(const std::string& path,
+                                                       CaptureBuffer& out);
+
+/// Untyped wrappers kept for callers that only need success/failure.
 bool WriteCaptureFile(const std::string& path, const CaptureBuffer& records);
 [[nodiscard]] std::optional<CaptureBuffer> ReadCaptureFile(
     const std::string& path);

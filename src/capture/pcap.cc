@@ -259,30 +259,42 @@ std::optional<CaptureBuffer> DecodePcap(const std::vector<std::uint8_t>& bytes) 
   return records;
 }
 
-bool WritePcapFile(const std::string& path, const CaptureBuffer& records) {
+base::io::IoStatus WritePcapFileStatus(const std::string& path,
+                                       const CaptureBuffer& records,
+                                       bool framed) {
   std::vector<std::uint8_t> bytes = EncodePcap(records);
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return false;
-  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  return written == bytes.size();
+  if (framed) {
+    return base::io::WriteFramedFile(path, base::io::kTagPcap, bytes);
+  }
+  return base::io::WriteFileAtomic(path, bytes);
+}
+
+bool WritePcapFile(const std::string& path, const CaptureBuffer& records) {
+  return WritePcapFileStatus(path, records).ok();
+}
+
+base::io::IoStatus ReadPcapFileStatus(const std::string& path,
+                                      CaptureBuffer& out) {
+  std::vector<std::uint8_t> payload;
+  bool framed = false;
+  base::io::IoStatus status =
+      base::io::ReadFramedFile(path, base::io::kTagPcap, payload, &framed);
+  if (!status.ok()) return status;
+  std::optional<CaptureBuffer> decoded = DecodePcap(payload);
+  if (!decoded) {
+    return base::io::IoStatus::Error(
+        base::io::IoCode::kPayloadCorrupt,
+        framed ? "pcap payload rejected inside an intact frame"
+               : "raw pcap file rejected by the decoder");
+  }
+  out = std::move(*decoded);
+  return base::io::IoStatus::Ok();
 }
 
 std::optional<CaptureBuffer> ReadPcapFile(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
-  std::fseek(file, 0, SEEK_END);
-  long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(file);
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  std::size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  if (read != bytes.size()) return std::nullopt;
-  return DecodePcap(bytes);
+  CaptureBuffer records;
+  if (!ReadPcapFileStatus(path, records).ok()) return std::nullopt;
+  return records;
 }
 
 }  // namespace clouddns::capture

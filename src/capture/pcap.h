@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "base/io.h"
 #include "capture/record.h"
 
 namespace clouddns::capture {
@@ -32,6 +33,20 @@ namespace clouddns::capture {
 [[nodiscard]] std::optional<CaptureBuffer> DecodePcap(
     const std::vector<std::uint8_t>& bytes);
 
+/// Atomic, checked pcap write. By default the libpcap bytes are wrapped
+/// in the checksummed base::io frame (tag kTagPcap) — the simulator's own
+/// artifacts get integrity protection. Pass `framed = false` for a raw
+/// libpcap file that tcpdump/wireshark open directly (cdnstool
+/// `export-pcap --raw`); raw files get atomicity but no checksums.
+[[nodiscard]] base::io::IoStatus WritePcapFileStatus(
+    const std::string& path, const CaptureBuffer& records, bool framed = true);
+
+/// Reads either shape: framed files are verified then unwrapped, raw
+/// libpcap files pass through as legacy payloads.
+[[nodiscard]] base::io::IoStatus ReadPcapFileStatus(const std::string& path,
+                                                    CaptureBuffer& out);
+
+/// Untyped wrappers kept for callers that only need success/failure.
 bool WritePcapFile(const std::string& path, const CaptureBuffer& records);
 [[nodiscard]] std::optional<CaptureBuffer> ReadPcapFile(
     const std::string& path);

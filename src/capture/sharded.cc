@@ -7,9 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
 #include <iterator>
-#include <memory>
 #include <queue>
 #include <utility>
 
@@ -40,13 +38,6 @@ bool GetVarint(const std::vector<std::uint8_t>& in, std::size_t& pos,
   }
   return false;
 }
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
@@ -142,7 +133,8 @@ std::vector<std::uint32_t> ShardedCapture::MergeOrderShardIds() const {
 }
 
 // lint:allow(hot-alloc): cache sidecar path string — cold I/O, not the scan loop
-bool WriteShardIndex(const std::string& path, const ShardedCapture& capture) {
+base::io::IoStatus WriteShardIndexStatus(const std::string& path,
+                                         const ShardedCapture& capture) {
   const std::vector<std::uint32_t> ids = capture.MergeOrderShardIds();
 
   std::vector<std::uint8_t> bytes;
@@ -164,26 +156,31 @@ bool WriteShardIndex(const std::string& path, const ShardedCapture& capture) {
     i = j;
   }
 
-  FileHandle file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return false;
-  if (!bytes.empty() &&
-      std::fwrite(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
-    return false;
-  }
-  return true;
+  return base::io::WriteFramedFile(path, base::io::kTagShards, bytes);
 }
 
 // lint:allow(hot-alloc): cache sidecar path string — cold I/O, not the scan loop
-ShardedCapture ReshardFromIndex(const std::string& path, CaptureBuffer flat) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return ShardedCapture(std::move(flat));
+bool WriteShardIndex(const std::string& path, const ShardedCapture& capture) {
+  return WriteShardIndexStatus(path, capture).ok();
+}
+
+// lint:allow(hot-alloc): cache sidecar path string — cold I/O, not the scan loop
+ShardedCapture ReshardFromIndex(const std::string& path, CaptureBuffer flat,
+                                base::io::IoStatus* status_out) {
+  base::io::IoStatus local_status;
+  base::io::IoStatus& status = status_out != nullptr ? *status_out : local_status;
+  status = base::io::IoStatus::Ok();
 
   std::vector<std::uint8_t> bytes;
-  std::uint8_t chunk[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), file.get())) > 0) {
-    bytes.insert(bytes.end(), chunk, chunk + got);
-  }
+  status = base::io::ReadFramedFile(path, base::io::kTagShards, bytes);
+  if (!status.ok()) return ShardedCapture(std::move(flat));
+
+  // From here down every malformation is payload-level corruption: the
+  // frame (if any) verified, but the shard-index bytes inside do not
+  // describe `flat`.
+  status = base::io::IoStatus::Error(
+      base::io::IoCode::kPayloadCorrupt,
+      "shard index payload malformed or mismatched against the capture");
 
   std::size_t pos = sizeof(kShardIndexMagic);
   if (bytes.size() < pos ||
@@ -237,6 +234,7 @@ ShardedCapture ReshardFromIndex(const std::string& path, CaptureBuffer flat) {
                          std::make_move_iterator(last));
     offset += static_cast<std::size_t>(length);
   }
+  status = base::io::IoStatus::Ok();
   return ShardedCapture::FromShards(std::move(shards));
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/io.h"
 #include "capture/record.h"
 
 namespace clouddns::capture {
@@ -98,9 +99,12 @@ class ShardedCapture {
 };
 
 /// Writes the run-length-encoded shard-id stream of `capture` (in merge
-/// order) to `path`. The main `.cdns` capture file stays byte-identical;
-/// this sidecar is purely additive, letting a later load rebuild the exact
-/// shard structure.
+/// order) to `path`, framed/checksummed and atomically renamed into place
+/// via base::io (tag kTagShards). The main `.cdns` capture file stays
+/// byte-identical; this sidecar is purely additive, letting a later load
+/// rebuild the exact shard structure.
+[[nodiscard]] base::io::IoStatus WriteShardIndexStatus(
+    const std::string& path, const ShardedCapture& capture);
 bool WriteShardIndex(const std::string& path, const ShardedCapture& capture);
 
 /// Re-partitions a flat, merge-ordered buffer into the shard structure
@@ -108,7 +112,11 @@ bool WriteShardIndex(const std::string& path, const ShardedCapture& capture);
 /// itself sorted, so re-merging reproduces `flat` byte-for-byte. Returns a
 /// single-shard view when the sidecar is missing, malformed, or does not
 /// match `flat` (older caches keep working, just without scan parallelism).
-[[nodiscard]] ShardedCapture ReshardFromIndex(const std::string& path,
-                                              CaptureBuffer flat);
+/// Legacy unframed sidecars still parse. When `status_out` is given it
+/// reports WHY a fallback happened — kNotFound (no sidecar; benign) vs a
+/// corruption code (the dataset cache quarantines on those).
+[[nodiscard]] ShardedCapture ReshardFromIndex(
+    const std::string& path, CaptureBuffer flat,
+    base::io::IoStatus* status_out = nullptr);
 
 }  // namespace clouddns::capture

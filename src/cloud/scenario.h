@@ -156,6 +156,11 @@ struct ScenarioResult {
   std::uint64_t client_queries_issued = 0;
   std::uint64_t leaf_queries = 0;      ///< Uncaptured SLD-auth traffic.
   RobustnessCounters robustness;       ///< Fleet-wide retry/timeout totals.
+  /// Storage-integrity events from the dataset cache's self-healing load
+  /// path: corrupt artifacts detected, quarantined, rebuilt from
+  /// simulation, and re-verified (DESIGN.md §14). All zero on a clean
+  /// warm or cold load.
+  base::io::StorageCounters storage;
   /// Client queries routed to each provider's fleet (calibration aid).
   std::map<std::string, std::uint64_t> client_queries_per_provider;
 };

@@ -7,6 +7,7 @@
 //   cdnstool dig       <qname> [qtype] [--qmin] [--validate] [--edns N]
 //   cdnstool zone-check file.zone [--origin name]
 //   cdnstool zone-sample
+//   cdnstool verify    file...   (storage-frame integrity check)
 //
 // Every subcommand exercises the public library API only.
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "analysis/experiments.h"
 #include "analysis/report.h"
 #include "analysis/rssac002.h"
+#include "base/io.h"
 #include "capture/anonymize.h"
 #include "capture/columnar.h"
 #include "capture/pcap.h"
@@ -79,12 +81,15 @@ int Usage() {
       "  cdnstool inspect    file.cdns [--by qtype|rcode|transport|family]\n"
       "                      [--top N] [--rssac002]\n"
       "  cdnstool anonymize  in.cdns out.cdns --key K\n"
-      "  cdnstool export-pcap in.cdns out.pcap\n"
+      "  cdnstool export-pcap in.cdns out.pcap [--raw]\n"
+      "                      (--raw: plain libpcap for tcpdump/wireshark,\n"
+      "                       no integrity frame)\n"
       "  cdnstool import-pcap in.pcap out.cdns\n"
       "  cdnstool report     file.cdns   (cloud-provider attribution)\n"
       "  cdnstool dig        qname [qtype] [--qmin] [--validate] [--edns N]\n"
       "  cdnstool zone-check file.zone [--origin name]\n"
-      "  cdnstool zone-sample\n");
+      "  cdnstool zone-sample\n"
+      "  cdnstool verify     file...     (storage-frame integrity check)\n");
   return 2;
 }
 
@@ -120,8 +125,10 @@ int CmdSimulate(const Args& args) {
   }
 
   std::string out = args.Get("out", "capture.cdns");
-  if (!capture::WriteCaptureFile(out, records)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+  if (auto status = capture::WriteCaptureFileStatus(out, records);
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", out.c_str(),
+                 status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "wrote %s\n", out.c_str());
@@ -199,10 +206,11 @@ int CmdAnonymize(const Args& args) {
   }
   capture::Anonymizer anonymizer(
       std::strtoull(args.Get("key", "1").c_str(), nullptr, 10));
-  if (!capture::WriteCaptureFile(args.positional[1],
-                                 anonymizer.AnonymizeCapture(*records))) {
-    std::fprintf(stderr, "error: cannot write %s\n",
-                 args.positional[1].c_str());
+  if (auto status = capture::WriteCaptureFileStatus(
+          args.positional[1], anonymizer.AnonymizeCapture(*records));
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n",
+                 args.positional[1].c_str(), status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "anonymized %zu records -> %s\n", records->size(),
@@ -248,40 +256,90 @@ int CmdReport(const Args& args) {
 
 int CmdExportPcap(const Args& args) {
   if (args.positional.size() != 2) return Usage();
-  auto records = capture::ReadCaptureFile(args.positional[0]);
-  if (!records) {
-    std::fprintf(stderr, "error: cannot read %s\n",
-                 args.positional[0].c_str());
+  capture::CaptureBuffer records;
+  if (auto status =
+          capture::ReadCaptureFileStatus(args.positional[0], records);
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n",
+                 args.positional[0].c_str(), status.ToString().c_str());
     return 1;
   }
-  if (!capture::WritePcapFile(args.positional[1], *records)) {
-    std::fprintf(stderr, "error: cannot write %s\n",
-                 args.positional[1].c_str());
+  // --raw writes a plain libpcap file tcpdump/wireshark open directly;
+  // the default wraps the pcap bytes in the checksummed integrity frame.
+  const bool framed = !args.Has("raw");
+  if (auto status =
+          capture::WritePcapFileStatus(args.positional[1], records, framed);
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n",
+                 args.positional[1].c_str(), status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
-               "exported %zu query packets -> %s (response metadata is not\n"
+               "exported %zu query packets -> %s%s (response metadata is not\n"
                "representable in pcap and was dropped)\n",
-               records->size(), args.positional[1].c_str());
+               records.size(), args.positional[1].c_str(),
+               framed ? " [framed; use --raw for tcpdump interop]" : "");
   return 0;
 }
 
 int CmdImportPcap(const Args& args) {
   if (args.positional.size() != 2) return Usage();
-  auto records = capture::ReadPcapFile(args.positional[0]);
-  if (!records) {
-    std::fprintf(stderr, "error: cannot parse %s\n",
-                 args.positional[0].c_str());
+  capture::CaptureBuffer records;
+  if (auto status = capture::ReadPcapFileStatus(args.positional[0], records);
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot parse %s: %s\n",
+                 args.positional[0].c_str(), status.ToString().c_str());
     return 1;
   }
-  if (!capture::WriteCaptureFile(args.positional[1], *records)) {
-    std::fprintf(stderr, "error: cannot write %s\n",
-                 args.positional[1].c_str());
+  if (auto status =
+          capture::WriteCaptureFileStatus(args.positional[1], records);
+      !status.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n",
+                 args.positional[1].c_str(), status.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "imported %zu DNS queries -> %s\n", records->size(),
+  std::fprintf(stderr, "imported %zu DNS queries -> %s\n", records.size(),
                args.positional[1].c_str());
   return 0;
+}
+
+// Frame-level integrity check of any base::io artifact: reports the
+// content tag, framing state, and payload size, or the exact corruption.
+int CmdVerify(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  int failures = 0;
+  for (const std::string& path : args.positional) {
+    std::vector<std::uint8_t> bytes;
+    if (auto status = base::io::ReadFileBytes(path, bytes); !status.ok()) {
+      std::printf("%s: UNREADABLE (%s)\n", path.c_str(),
+                  status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<std::uint8_t> payload;
+    bool framed = false;
+    std::uint32_t tag = 0;
+    auto status =
+        base::io::UnwrapFrame(bytes, base::io::kTagAny, payload, framed, &tag);
+    if (!status.ok()) {
+      std::printf("%s: CORRUPT (%s)\n", path.c_str(),
+                  status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!framed) {
+      std::printf("%s: OK legacy-unframed %zu bytes (no checksums)\n",
+                  path.c_str(), bytes.size());
+      continue;
+    }
+    const char tag_text[5] = {static_cast<char>(tag >> 24),
+                              static_cast<char>(tag >> 16),
+                              static_cast<char>(tag >> 8),
+                              static_cast<char>(tag), '\0'};
+    std::printf("%s: OK framed tag=%s payload=%zu bytes\n", path.c_str(),
+                tag_text, payload.size());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdDig(const Args& args) {
@@ -445,5 +503,6 @@ int main(int argc, char** argv) {
   if (command == "dig") return CmdDig(args);
   if (command == "zone-check") return CmdZoneCheck(args);
   if (command == "zone-sample") return CmdZoneSample(args);
+  if (command == "verify") return CmdVerify(args);
   return Usage();
 }

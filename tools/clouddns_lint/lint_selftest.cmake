@@ -131,6 +131,55 @@ if(diagnostics MATCHES "cold_scratch.cc")
 endif()
 file(REMOVE "${hot_scratch}" "${cold_scratch}")
 
+# The io-unchecked rule: raw fopen/fwrite/ofstream anywhere outside
+# src/base/io* must fire (lines 4-6); a reasoned allow is honoured
+# (line 7); the same calls inside base/io itself must pass untouched.
+set(io_scratch "${WORK}/src/capture/io_scratch.cc")
+file(WRITE "${io_scratch}" "#include <cstdio>
+#include <fstream>
+void RawIo(const char* path) {
+  std::FILE* f = std::fopen(path, \"wb\");
+  std::fwrite(path, 1, 1, f);
+  std::ofstream out(path);
+  std::FILE* g = std::fopen(path, \"rb\");  // lint:allow(io-unchecked): selftest waiver
+  (void)f; (void)g;
+}
+")
+set(io_base_scratch "${WORK}/src/base/io_scratch.cc")
+file(WRITE "${io_base_scratch}" "#include <cstdio>
+void Primitive(const char* path) {
+  std::FILE* f = std::fopen(path, \"wb\");
+  std::fwrite(path, 1, 1, f);
+  (void)f;
+}
+")
+execute_process(
+  COMMAND "${LINT}" "${WORK}/src"
+  RESULT_VARIABLE status
+  ERROR_VARIABLE diagnostics
+  OUTPUT_VARIABLE stdout_text)
+if(status EQUAL 0)
+  message(FATAL_ERROR "linter passed a tree with io-unchecked violations")
+endif()
+foreach(expected
+    "io_scratch.cc:4: error: .io-unchecked."
+    "io_scratch.cc:5: error: .io-unchecked."
+    "io_scratch.cc:6: error: .io-unchecked.")
+  if(NOT diagnostics MATCHES "${expected}")
+    message(FATAL_ERROR
+      "missing diagnostic matching '${expected}' in:\n${diagnostics}")
+  endif()
+endforeach()
+if(diagnostics MATCHES "io_scratch.cc:7")
+  message(FATAL_ERROR
+    "reasoned lint:allow(io-unchecked) was still reported:\n${diagnostics}")
+endif()
+if(diagnostics MATCHES "io_base_scratch.cc")
+  message(FATAL_ERROR
+    "io-unchecked fired inside src/base/io*:\n${diagnostics}")
+endif()
+file(REMOVE "${io_scratch}" "${io_base_scratch}")
+
 # A suppression without a reason must itself be flagged.
 file(WRITE "${scratch}" "#include <cstdlib>
 void NoReason() {

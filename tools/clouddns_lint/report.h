@@ -50,6 +50,9 @@ inline constexpr RuleInfo kRules[] = {
     {"hot-alloc",
      "string construction in a hot-path-tagged file; key on the cached "
      "Name hash + flat bytes (DESIGN.md §10)"},
+    {"io-unchecked",
+     "raw fopen/fwrite/ofstream outside base::io; write through the "
+     "checked atomic FileWriter / framed helpers (DESIGN.md §14)"},
     {"layer-inversion",
      "include edge violates the declared module DAG (layers.txt)"},
     {"include-cycle", "cyclic #include chain between source files"},

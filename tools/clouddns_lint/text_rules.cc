@@ -142,6 +142,14 @@ bool MatchRngConstruction(const std::string& line) {
   return false;
 }
 
+/// Raw unchecked file I/O: fopen/fwrite call-shapes and ofstream
+/// declarations. base::io::FileWriter is the only sanctioned writer —
+/// it checks every result and lands files atomically (DESIGN.md §14).
+bool MatchIoUnchecked(const std::string& line) {
+  if (HasCall(line, "fopen") || HasCall(line, "fwrite")) return true;
+  return FindWord(line, "ofstream") != std::string::npos;
+}
+
 bool MatchHotAlloc(const std::string& line) {
   if (HasCall(line, "ToKey") || HasCall(line, "ToString")) return true;
   // std::string with a word boundary after (std::string_view and
@@ -337,6 +345,11 @@ void RunTextRules(SourceFile& file, Reporter& reporter) {
        "cached Name hash + flat bytes (DESIGN.md §10), or add a "
        "reasoned lint:allow(hot-alloc) for a genuinely cold line",
        [](const SourceFile& f) { return f.hot_path; }},
+      {"io-unchecked", MatchIoUnchecked,
+       "raw fopen/fwrite/ofstream outside base::io; short writes and "
+       "failed closes vanish silently — write through "
+       "base::io::FileWriter / the framed helpers (DESIGN.md §14)",
+       [](const SourceFile& f) { return !PathContains(f, "base/io"); }},
   };
   for (const LineRule& rule : kLineRules) {
     if (!rule.applies(file)) continue;
