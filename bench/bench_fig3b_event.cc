@@ -61,12 +61,15 @@ int main() {
   faulted_config.inject_cyclic_event = true;
   faulted_config.fault_preset = cloud::FaultPreset::kNzEventLoss;
 
-  cloud::ScenarioResult baseline = RunWithCounters(baseline_config);
-  cloud::ScenarioResult faulted = RunWithCounters(faulted_config);
+  cloud::ScenarioResult baseline = bench::WithSimulatePhase(
+      recorder, [&] { return RunWithCounters(baseline_config); });
+  cloud::ScenarioResult faulted = bench::WithSimulatePhase(
+      recorder, [&] { return RunWithCounters(faulted_config); });
   recorder.AddQueries(baseline.records.size() + faulted.records.size());
 
-  analysis::RetryAmplification amp =
-      analysis::ComputeRetryAmplification(baseline, faulted);
+  analysis::RetryAmplification amp = bench::WithScanPhase(recorder, [&] {
+    return analysis::ComputeRetryAmplification(baseline, faulted);
+  });
 
   analysis::TextTable table({"metric", "baseline", "faulted", "factor"});
   table.AddRow({"upstream queries", analysis::Count(amp.baseline_upstream),

@@ -52,7 +52,7 @@ int main() {
     analysis::TextTable table({"year", "GOOGLE", "AMAZON", "MICROSOFT",
                                "FACEBOOK", "CLOUDFLARE", "5 CPs", "paper~"});
     for (int year : {2018, 2019, 2020}) {
-      auto result = bench::WithPhase(recorder, "simulate", [&] {
+      auto result = bench::WithSimulatePhase(recorder, [&] {
         return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
       });
       recorder.AddQueries(result.records.size());
@@ -70,7 +70,7 @@ int main() {
     std::printf("\n[%s]\n%s", std::string(cloud::ToString(vantage)).c_str(),
                 table.Render().c_str());
     if (vantage == cloud::Vantage::kRoot) {
-      auto root = bench::WithPhase(recorder, "simulate", [&] {
+      auto root = bench::WithSimulatePhase(recorder, [&] {
         return analysis::LoadOrRun(bench::StandardConfig(vantage, 2020));
       });
       // The rank sketch consumes records in merged order, so this is the
@@ -85,24 +85,26 @@ int main() {
       "the root's view is dominated by the long tail of other ASes.\n");
 
   if (bench::ScalingSweepRequested()) {
-    std::vector<cloud::ScenarioResult> datasets;
-    for (cloud::Vantage vantage :
-         {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
-      for (int year : {2018, 2019, 2020}) {
-        datasets.push_back(
-            analysis::LoadOrRun(bench::StandardConfig(vantage, year)));
+    bench::WithPhase(recorder, "sweep", [&] {
+      std::vector<cloud::ScenarioResult> datasets;
+      for (cloud::Vantage vantage :
+           {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
+        for (int year : {2018, 2019, 2020}) {
+          datasets.push_back(
+              analysis::LoadOrRun(bench::StandardConfig(vantage, year)));
+        }
       }
-    }
-    bench::RunScalingSweep(
-        "figure1_cloud_share", datasets,
-        [](const cloud::ScenarioResult& result) {
-          std::string out;
-          for (const auto& share : analysis::ComputeCloudShares(result)) {
-            out += std::string(cloud::ToString(share.provider)) + " " +
-                   std::to_string(share.queries) + "\n";
-          }
-          return out;
-        });
+      bench::RunScalingSweep(
+          "figure1_cloud_share", datasets,
+          [](const cloud::ScenarioResult& result) {
+            std::string out;
+            for (const auto& share : analysis::ComputeCloudShares(result)) {
+              out += std::string(cloud::ToString(share.provider)) + " " +
+                     std::to_string(share.queries) + "\n";
+            }
+            return out;
+          });
+    });
   }
   return 0;
 }

@@ -17,10 +17,13 @@ int main() {
     analysis::TextTable table({"year", "GOOGLE", "AMAZON", "MICROSOFT",
                                "FACEBOOK", "CLOUDFLARE", "ALL", "paper-ALL"});
     for (int year : {2018, 2019, 2020}) {
-      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      auto result = bench::WithSimulatePhase(recorder, [&] {
+        return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      });
       recorder.AddQueries(result.records.size());
       // One fused pass yields every provider's ratio plus the overall one.
-      auto ratios = analysis::ComputeJunkRatios(result);
+      auto ratios = bench::WithScanPhase(
+          recorder, [&] { return analysis::ComputeJunkRatios(result); });
       std::vector<std::string> row = {std::to_string(year)};
       for (cloud::Provider provider : cloud::MeasuredProviders()) {
         row.push_back(analysis::Percent(ratios.per_provider[provider]));

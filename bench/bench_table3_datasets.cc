@@ -20,7 +20,7 @@ int main() {
   for (cloud::Vantage vantage :
        {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
     for (int year : {2018, 2019, 2020}) {
-      auto result = bench::WithPhase(recorder, "simulate", [&] {
+      auto result = bench::WithSimulatePhase(recorder, [&] {
         return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
       });
       recorder.AddQueries(result.records.size());
@@ -51,27 +51,49 @@ int main() {
       "vantage; HLL estimates track the exact distinct counts within ~1%%.\n");
 
   if (bench::ScalingSweepRequested()) {
-    std::vector<cloud::ScenarioResult> datasets;
-    for (cloud::Vantage vantage :
-         {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
-      for (int year : {2018, 2019, 2020}) {
-        datasets.push_back(
-            analysis::LoadOrRun(bench::StandardConfig(vantage, year)));
+    bench::WithPhase(recorder, "sweep", [&] {
+      std::vector<cloud::ScenarioResult> datasets;
+      for (cloud::Vantage vantage :
+           {cloud::Vantage::kNl, cloud::Vantage::kNz, cloud::Vantage::kRoot}) {
+        for (int year : {2018, 2019, 2020}) {
+          datasets.push_back(
+              analysis::LoadOrRun(bench::StandardConfig(vantage, year)));
+        }
       }
-    }
-    bench::RunScalingSweep(
-        "table3_datasets", datasets, [](const cloud::ScenarioResult& result) {
-          auto stats = analysis::ComputeDatasetStats(result);
-          char buf[192];
-          std::snprintf(buf, sizeof(buf), "%llu %llu %llu %.6f %llu %.6f\n",
-                        static_cast<unsigned long long>(stats.queries_total),
-                        static_cast<unsigned long long>(stats.queries_valid),
-                        static_cast<unsigned long long>(stats.resolvers_exact),
-                        stats.resolvers_hll,
-                        static_cast<unsigned long long>(stats.ases_exact),
-                        stats.ases_hll);
-          return std::string(buf);
-        });
+      bench::RunScalingSweep(
+          "table3_datasets", datasets,
+          [](const cloud::ScenarioResult& result) {
+            auto stats = analysis::ComputeDatasetStats(result);
+            char buf[192];
+            std::snprintf(buf, sizeof(buf), "%llu %llu %llu %.6f %llu %.6f\n",
+                          static_cast<unsigned long long>(stats.queries_total),
+                          static_cast<unsigned long long>(stats.queries_valid),
+                          static_cast<unsigned long long>(
+                              stats.resolvers_exact),
+                          stats.resolvers_hll,
+                          static_cast<unsigned long long>(stats.ases_exact),
+                          stats.ases_hll);
+            return std::string(buf);
+          });
+    });
+  }
+
+  if (bench::ColdSweepRequested()) {
+    bench::WithPhase(recorder, "cold_sweep", [&] {
+      bench::RunColdSweep("table3_datasets", [] {
+        std::uint64_t queries = 0;
+        for (cloud::Vantage vantage :
+             {cloud::Vantage::kNl, cloud::Vantage::kNz,
+              cloud::Vantage::kRoot}) {
+          for (int year : {2018, 2019, 2020}) {
+            queries +=
+                analysis::LoadOrRun(bench::StandardConfig(vantage, year))
+                    .records.size();
+          }
+        }
+        return queries;
+      });
+    });
   }
   return 0;
 }

@@ -15,9 +15,12 @@ int main() {
     // One fused pass per dataset covers every provider's mix.
     std::map<int, std::map<cloud::Provider, analysis::TransportMix>> by_year;
     for (int year : {2018, 2019, 2020}) {
-      auto result = analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      auto result = bench::WithSimulatePhase(recorder, [&] {
+        return analysis::LoadOrRun(bench::StandardConfig(vantage, year));
+      });
       recorder.AddQueries(result.records.size());
-      by_year[year] = analysis::ComputeTransportMixes(result);
+      by_year[year] = bench::WithScanPhase(
+          recorder, [&] { return analysis::ComputeTransportMixes(result); });
     }
     for (cloud::Provider provider : cloud::MeasuredProviders()) {
       for (int year : {2018, 2019, 2020}) {

@@ -8,10 +8,12 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <thread>
@@ -21,7 +23,9 @@
 
 #include "analysis/calibration.h"
 #include "analysis/dataset_cache.h"
+#include "base/io.h"
 #include "base/mutex.h"
+#include "base/phase.h"
 #include "base/thread_annotations.h"
 #include "analysis/experiments.h"
 #include "analysis/report.h"
@@ -190,6 +194,32 @@ class BenchRecorder {
                                       start_)
             .count();
     base::MutexLock lock(mu_);
+    // Wall-time breakdown line (lands in bench_output.txt), plus the
+    // asserted phase-coverage invariant: once a bench books phases, they
+    // must explain the wall — an unaccounted slice above 10% (and a
+    // 0.25s absolute floor, so millisecond benches aren't judged on
+    // startup noise) means a new cost crept in outside the accounting,
+    // which is exactly the blind spot the phases exist to prevent.
+    if (!phases_.empty()) {
+      double accounted = 0;
+      for (const auto& [key, seconds] : phases_) accounted += seconds;
+      const double unaccounted = wall - accounted;
+      std::printf("[bench] %s wall %.3fs =", name_.c_str(), wall);
+      for (std::size_t i = 0; i < phases_.size(); ++i) {
+        std::printf("%s %s %.3fs", i == 0 ? "" : " +",
+                    phases_[i].first.c_str(), phases_[i].second);
+      }
+      std::printf(" | unaccounted %.3fs (%.1f%%)\n", unaccounted,
+                  wall > 0 ? 100.0 * unaccounted / wall : 0.0);
+      if (unaccounted > 0.1 * wall && unaccounted > 0.25) {
+        std::fprintf(stderr,
+                     "FATAL: %s phase accounting covers only %.3fs of %.3fs "
+                     "wall — the phase breakdown no longer explains where "
+                     "the time goes\n",
+                     name_.c_str(), accounted, wall);
+        std::abort();
+      }
+    }
     std::size_t threads = std::thread::hardware_concurrency();
     if (const char* env = std::getenv("CLOUDDNS_THREADS")) {
       char* end = nullptr;
@@ -262,6 +292,49 @@ auto WithPhase(BenchRecorder& recorder, const char* phase, Fn&& fn) {
         phase, std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - start)
                    .count());
+    return result;
+  }
+}
+
+/// Runs a dataset-producing callable (typically analysis::LoadOrRun) and
+/// books its wall time split by where it actually went: the library-side
+/// phase counters attribute scenario construction (`setup`), codec work
+/// (`encode`: columnar/frame/CRC), and raw file bytes (`io`); whatever
+/// the counters don't claim — the simulation schedule loop on a cold
+/// run, approximately nothing on a warm cache hit — is booked as
+/// `simulate`.
+template <typename Fn>
+auto WithSimulatePhase(BenchRecorder& recorder, Fn&& fn) {
+  const std::uint64_t setup0 = base::PhaseNanos(base::Phase::kSetup);
+  const std::uint64_t encode0 = base::PhaseNanos(base::Phase::kEncode);
+  const std::uint64_t io0 = base::PhaseNanos(base::Phase::kIo);
+  const auto start = std::chrono::steady_clock::now();
+  auto book = [&] {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    const double setup =
+        static_cast<double>(base::PhaseNanos(base::Phase::kSetup) - setup0) *
+        1e-9;
+    const double encode =
+        static_cast<double>(base::PhaseNanos(base::Phase::kEncode) -
+                            encode0) *
+        1e-9;
+    const double io =
+        static_cast<double>(base::PhaseNanos(base::Phase::kIo) - io0) * 1e-9;
+    recorder.AddPhaseSeconds("setup", setup);
+    recorder.AddPhaseSeconds("encode", encode);
+    recorder.AddPhaseSeconds("io", io);
+    const double accounted = setup + encode + io;
+    recorder.AddPhaseSeconds("simulate",
+                             wall > accounted ? wall - accounted : 0.0);
+  };
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    book();
+  } else {
+    auto result = fn();
+    book();
     return result;
   }
 }
@@ -432,6 +505,89 @@ void RunScalingSweep(const std::string& bench_name,
   }
   std::printf("  outputs byte-identical across thread counts\n");
   WriteScalingResults(bench_name, points);
+}
+
+/// The cold sweep is opt-in like the scaling sweep: it deletes and
+/// rebuilds the whole dataset cache twice, which only the bench CI job
+/// should pay for.
+inline bool ColdSweepRequested() {
+  return std::getenv("CLOUDDNS_COLD_SWEEP") != nullptr;
+}
+
+/// Cold-path thread sweep (CLOUDDNS_COLD_SWEEP): clears the dataset cache
+/// and rebuilds every dataset from scratch at 1 and 8 worker threads,
+/// recording "<bench>_cold" points in BENCH_scaling.json (gated by
+/// tools/check_scaling.cmake: cold 8T must beat cold 1T). `build` must
+/// re-create all datasets through analysis::LoadOrRun and return the
+/// total capture-record count. After each rebuild the cache artifacts are
+/// fingerprinted (CRC32C of every file, name-sorted) and the sweep aborts
+/// on any difference — the executable form of the parallel cold path's
+/// byte-identity contract (zone build/signing fan-out, block-parallel
+/// framed codec).
+template <typename BuildFn>
+void RunColdSweep(const std::string& bench_name, BuildFn build) {
+  namespace fs = std::filesystem;
+  const std::string cache_dir = analysis::DefaultCacheDir();
+  const char* prev = std::getenv("CLOUDDNS_THREADS");
+  const std::string saved = prev != nullptr ? prev : "";
+  auto fingerprint = [&cache_dir] {
+    std::vector<std::pair<std::string, std::uint32_t>> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(cache_dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      std::vector<std::uint8_t> bytes;
+      if (!base::io::ReadFileBytes(it->path().string(), bytes).ok()) continue;
+      files.emplace_back(it->path().filename().string(),
+                         base::io::Crc32c(bytes));
+    }
+    std::sort(files.begin(), files.end());
+    std::string digest;
+    for (const auto& [file, crc] : files) {
+      digest += file + ":" + std::to_string(crc) + "\n";
+    }
+    return digest;
+  };
+  std::vector<ScalingPoint> points;
+  std::string baseline_digest;
+  std::printf("\nCold-path sweep (CLOUDDNS_COLD_SWEEP):\n");
+  for (std::size_t threads : {1u, 8u}) {
+    std::error_code ec;
+    fs::remove_all(cache_dir, ec);
+    setenv("CLOUDDNS_THREADS", std::to_string(threads).c_str(), 1);
+    ScalingPoint point;
+    point.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    point.queries = build();
+    point.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    const std::string digest = fingerprint();
+    if (baseline_digest.empty()) {
+      baseline_digest = digest;
+    } else if (digest != baseline_digest) {
+      std::fprintf(stderr,
+                   "FATAL: %s cold rebuild at %zu threads produced different "
+                   "cache artifacts than the 1-thread rebuild — the parallel "
+                   "cold path broke byte-identity\n",
+                   bench_name.c_str(), threads);
+      std::abort();
+    }
+    std::printf("  threads=%zu  %8.3fs cold rebuild  %12.0f q/s\n", threads,
+                point.wall_seconds,
+                point.wall_seconds > 0
+                    ? static_cast<double>(point.queries) / point.wall_seconds
+                    : 0.0);
+    points.push_back(point);
+  }
+  if (prev != nullptr) {
+    setenv("CLOUDDNS_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("CLOUDDNS_THREADS");
+  }
+  std::printf("  cold artifacts byte-identical across thread counts\n");
+  WriteScalingResults(bench_name + "_cold", points);
 }
 
 inline cloud::ScenarioConfig StandardConfig(cloud::Vantage vantage, int year) {

@@ -5,8 +5,18 @@
 #include <cstring>
 #include <filesystem>
 
+#include "base/phase.h"
+#include "base/threads.h"
+
 #ifndef _WIN32
 #include <unistd.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#if __has_include(<sys/auxv.h>)
+#include <sys/auxv.h>
+#endif
 #endif
 
 namespace clouddns::base::io {
@@ -18,16 +28,16 @@ constexpr char kFrameMagic[8] = {'C', 'L', 'D', 'F', 'R', 'A', 'M', '1'};
 constexpr std::uint32_t kFrameVersion = 1;
 constexpr std::uint32_t kTrailerMagic = 0x43444e44;  // "CDND"
 
-void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
+void StoreU32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
 }
 
-void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  PutU32(out, static_cast<std::uint32_t>(v >> 32));
-  PutU32(out, static_cast<std::uint32_t>(v));
+void StoreU64(std::uint8_t* out, std::uint64_t v) {
+  StoreU32(out, static_cast<std::uint32_t>(v >> 32));
+  StoreU32(out + 4, static_cast<std::uint32_t>(v));
 }
 
 bool GetU32(const std::vector<std::uint8_t>& in, std::size_t& pos,
@@ -161,30 +171,146 @@ std::string IoStatus::ToString() const {
 
 namespace {
 
+constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;  // reflected Castagnoli
+
 struct Crc32cTable {
   std::uint32_t entries[256];
   Crc32cTable() {
-    constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t crc = i;
       for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+        crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
       }
       entries[i] = crc;
     }
   }
 };
 
+// Raw kernels operate on the pre-inverted CRC state; the public entry
+// points own the ~seed / ~result conditioning so every kernel is
+// interchangeable.
+std::uint32_t Crc32cRawSoftware(std::uint32_t crc, const std::uint8_t* data,
+                                std::size_t len) {
+  static const Crc32cTable table;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ data[i]) & 0xffu];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+#define CLOUDDNS_CRC32C_HW 1
+constexpr const char* kHwCrcName = "sse4.2";
+
+bool HwCrcSupported() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+__attribute__((target("sse4.2"))) std::uint32_t Crc32cRawHw(
+    std::uint32_t crc, const std::uint8_t* data, std::size_t len) {
+  std::uint64_t state = crc;
+  while (len >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data, 8);
+    state = __builtin_ia32_crc32di(state, chunk);
+    data += 8;
+    len -= 8;
+  }
+  crc = static_cast<std::uint32_t>(state);
+  while (len > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *data);
+    ++data;
+    --len;
+  }
+  return crc;
+}
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define CLOUDDNS_CRC32C_HW 1
+constexpr const char* kHwCrcName = "armv8-crc";
+
+bool HwCrcSupported() {
+#if defined(AT_HWCAP) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  // Compiled with +crc and no auxv to consult: the target mandates it.
+  return true;
+#endif
+}
+
+std::uint32_t Crc32cRawHw(std::uint32_t crc, const std::uint8_t* data,
+                          std::size_t len) {
+  while (len >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data, 8);
+    crc = __crc32cd(crc, chunk);
+    data += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = __crc32cb(crc, *data);
+    ++data;
+    --len;
+  }
+  return crc;
+}
+#else
+#define CLOUDDNS_CRC32C_HW 0
+#endif
+
+using Crc32cRawFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                      std::size_t);
+
+struct Crc32cDispatch {
+  Crc32cRawFn fn;
+  const char* name;
+};
+
+/// Dispatch rule (DESIGN.md §10): the hardware kernel is used only when
+/// the CPU advertises it AND it reproduces the software table's result on
+/// a known-answer vector ("123456789" -> 0xe3069283). Any disagreement —
+/// miscompilation, misreported feature bit — silently falls back to
+/// software, so file bytes can never depend on which kernel won.
+Crc32cDispatch PickCrc32cKernel() {
+#if CLOUDDNS_CRC32C_HW
+  if (HwCrcSupported()) {
+    static constexpr std::uint8_t kVector[] = {'1', '2', '3', '4', '5',
+                                               '6', '7', '8', '9'};
+    constexpr std::uint32_t kKnownAnswer = 0xe3069283u;
+    const std::uint32_t sw = ~Crc32cRawSoftware(~0u, kVector, sizeof(kVector));
+    const std::uint32_t hw = ~Crc32cRawHw(~0u, kVector, sizeof(kVector));
+    if (sw == kKnownAnswer && hw == kKnownAnswer) {
+      return {&Crc32cRawHw, kHwCrcName};
+    }
+  }
+#endif
+  return {&Crc32cRawSoftware, "software"};
+}
+
+const Crc32cDispatch& Crc32cKernel() {
+  static const Crc32cDispatch dispatch = PickCrc32cKernel();
+  return dispatch;
+}
+
+// GF(2) matrix helpers for Crc32cCombine: a CRC over k zero bytes is a
+// linear map on the 32-bit state, so appending len_b bytes to A is
+// "multiply crc_a by the zero-byte matrix raised to len_b" — computed in
+// O(log len_b) squarings (the zlib crc32_combine construction, re-derived
+// for the Castagnoli polynomial).
+std::uint32_t Gf2MatrixTimes(const std::uint32_t mat[32], std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1u) sum ^= mat[i];
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(std::uint32_t square[32], const std::uint32_t mat[32]) {
+  for (int i = 0; i < 32; ++i) square[i] = Gf2MatrixTimes(mat, mat[i]);
+}
+
 }  // namespace
 
 std::uint32_t Crc32c(const std::uint8_t* data, std::size_t len,
                      std::uint32_t seed) {
-  static const Crc32cTable table;
-  std::uint32_t crc = ~seed;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = (crc >> 8) ^ table.entries[(crc ^ data[i]) & 0xffu];
-  }
-  return ~crc;
+  return ~Crc32cKernel().fn(~seed, data, len);
 }
 
 std::uint32_t Crc32c(const std::vector<std::uint8_t>& data,
@@ -192,28 +318,84 @@ std::uint32_t Crc32c(const std::vector<std::uint8_t>& data,
   return Crc32c(data.data(), data.size(), seed);
 }
 
+std::uint32_t Crc32cSoftware(const std::uint8_t* data, std::size_t len,
+                             std::uint32_t seed) {
+  return ~Crc32cRawSoftware(~seed, data, len);
+}
+
+const char* Crc32cBackend() { return Crc32cKernel().name; }
+
+std::uint32_t Crc32cCombine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  std::uint32_t even[32];
+  std::uint32_t odd[32];
+  // odd := the map "advance the CRC register by one zero bit".
+  odd[0] = kCrc32cPoly;
+  std::uint32_t row = 1;
+  for (int i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  // Square twice: even = 2 zero bits, odd = 4 zero bits; the loop below
+  // then walks len_b's bits, squaring to 8, 16, 32, ... zero-BYTE shifts.
+  Gf2MatrixSquare(even, odd);
+  Gf2MatrixSquare(odd, even);
+  std::uint64_t len = len_b;
+  do {
+    Gf2MatrixSquare(even, odd);
+    if (len & 1u) crc_a = Gf2MatrixTimes(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len & 1u) crc_a = Gf2MatrixTimes(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+  return crc_a ^ crc_b;
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 
 std::vector<std::uint8_t> WrapFrame(std::uint32_t content_tag,
                                     const std::vector<std::uint8_t>& payload) {
-  std::vector<std::uint8_t> out;
+  ScopedPhaseTimer phase(Phase::kEncode);
+  constexpr std::size_t kHeaderSize = sizeof(kFrameMagic) + 4 + 4 + 8;
   const std::size_t blocks =
       (payload.size() + kFrameBlockSize - 1) / kFrameBlockSize;
-  out.reserve(sizeof(kFrameMagic) + 16 + payload.size() + blocks * 8 + 8);
-  for (char c : kFrameMagic) out.push_back(static_cast<std::uint8_t>(c));
-  PutU32(out, kFrameVersion);
-  PutU32(out, content_tag);
-  PutU64(out, payload.size());
-  for (std::size_t pos = 0; pos < payload.size(); pos += kFrameBlockSize) {
-    const std::size_t len = std::min(kFrameBlockSize, payload.size() - pos);
-    PutU32(out, static_cast<std::uint32_t>(len));
-    PutU32(out, Crc32c(payload.data() + pos, len));
-    out.insert(out.end(), payload.begin() + static_cast<std::ptrdiff_t>(pos),
-               payload.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  std::vector<std::uint8_t> out(kHeaderSize + payload.size() + blocks * 8 + 8);
+  std::memcpy(out.data(), kFrameMagic, sizeof(kFrameMagic));
+  StoreU32(out.data() + sizeof(kFrameMagic), kFrameVersion);
+  StoreU32(out.data() + sizeof(kFrameMagic) + 4, content_tag);
+  StoreU64(out.data() + sizeof(kFrameMagic) + 8, payload.size());
+  // Every block before the last is exactly kFrameBlockSize, so block b's
+  // source and destination offsets are pure functions of b — workers fill
+  // disjoint output regions and the assembled bytes cannot depend on
+  // scheduling (DESIGN.md §14).
+  std::vector<std::uint32_t> block_crcs(blocks);
+  ThreadPool::Shared().ParallelFor(
+      blocks, EffectiveThreads(0), [&](std::size_t b) {
+        const std::size_t src = b * kFrameBlockSize;
+        const std::size_t len = std::min(kFrameBlockSize, payload.size() - src);
+        const std::uint32_t crc = Crc32c(payload.data() + src, len);
+        std::uint8_t* dst = out.data() + kHeaderSize + src + b * 8;
+        StoreU32(dst, static_cast<std::uint32_t>(len));
+        StoreU32(dst + 4, crc);
+        std::memcpy(dst + 8, payload.data() + src, len);
+        block_crcs[b] = crc;
+      });
+  // Whole-payload trailer CRC, derived from the per-block CRCs instead of
+  // a second pass over the bytes; Crc32cCombine makes the two identical.
+  std::uint32_t payload_crc = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t src = b * kFrameBlockSize;
+    const std::size_t len = std::min(kFrameBlockSize, payload.size() - src);
+    payload_crc = Crc32cCombine(payload_crc, block_crcs[b], len);
   }
-  PutU32(out, kTrailerMagic);
-  PutU32(out, Crc32c(payload));
+  std::uint8_t* trailer =
+      out.data() + kHeaderSize + payload.size() + blocks * 8;
+  StoreU32(trailer, kTrailerMagic);
+  StoreU32(trailer + 4, payload_crc);
   return out;
 }
 
@@ -221,6 +403,7 @@ IoStatus UnwrapFrame(const std::vector<std::uint8_t>& bytes,
                      std::uint32_t expected_tag,
                      std::vector<std::uint8_t>& payload, bool& framed,
                      std::uint32_t* tag_out) {
+  ScopedPhaseTimer phase(Phase::kEncode);
   framed = false;
   if (bytes.size() < sizeof(kFrameMagic) ||
       !std::equal(std::begin(kFrameMagic), std::end(kFrameMagic),
@@ -246,42 +429,73 @@ IoStatus UnwrapFrame(const std::vector<std::uint8_t>& bytes,
                            "content tag mismatch: file holds a different "
                            "artifact kind");
   }
-  std::vector<std::uint8_t> assembled;
   if (payload_len > bytes.size()) {
     return IoStatus::Error(IoCode::kTruncated,
                            "declared payload longer than the file");
   }
-  assembled.reserve(static_cast<std::size_t>(payload_len));
-  while (assembled.size() < payload_len) {
+  // Index pass: walk the block headers serially, bounds-checking exactly
+  // as the serial decoder did. CRC verification and payload assembly then
+  // fan out per block — the expensive work — while error reporting stays
+  // deterministic: the first failing block IN FILE ORDER is reported, not
+  // the first to be noticed by a worker (DESIGN.md §14).
+  struct BlockRef {
+    std::size_t src;
+    std::size_t dst;
+    std::uint32_t len;
+    std::uint32_t crc;
+  };
+  std::vector<BlockRef> index;
+  index.reserve(
+      static_cast<std::size_t>(payload_len / kFrameBlockSize) + 1);
+  std::uint64_t indexed = 0;
+  while (indexed < payload_len) {
     std::uint32_t block_len = 0;
     std::uint32_t block_crc = 0;
     if (!GetU32(bytes, pos, block_len) || !GetU32(bytes, pos, block_crc)) {
       return IoStatus::Error(IoCode::kTruncated, "block header truncated");
     }
     if (block_len == 0 || block_len > kFrameBlockSize ||
-        block_len > payload_len - assembled.size() ||
+        block_len > payload_len - indexed ||
         pos + block_len > bytes.size()) {
       return IoStatus::Error(IoCode::kTruncated,
                              "block exceeds declared payload/file bounds");
     }
-    if (Crc32c(bytes.data() + pos, block_len) != block_crc) {
-      return IoStatus::Error(
-          IoCode::kBlockCorrupt,
-          "block CRC mismatch at payload offset " +
-              std::to_string(assembled.size()));
-    }
-    assembled.insert(assembled.end(),
-                     bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-                     bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
-                         block_len);
+    index.push_back({pos, static_cast<std::size_t>(indexed), block_len,
+                     block_crc});
     pos += block_len;
+    indexed += block_len;
+  }
+  std::vector<std::uint8_t> assembled(static_cast<std::size_t>(payload_len));
+  std::vector<std::uint8_t> bad(index.size(), 0);
+  ThreadPool::Shared().ParallelFor(
+      index.size(), EffectiveThreads(0), [&](std::size_t b) {
+        const BlockRef& ref = index[b];
+        if (Crc32c(bytes.data() + ref.src, ref.len) != ref.crc) {
+          bad[b] = 1;
+          return;
+        }
+        std::memcpy(assembled.data() + ref.dst, bytes.data() + ref.src,
+                    ref.len);
+      });
+  for (std::size_t b = 0; b < index.size(); ++b) {
+    if (bad[b]) {
+      return IoStatus::Error(IoCode::kBlockCorrupt,
+                             "block CRC mismatch at payload offset " +
+                                 std::to_string(index[b].dst));
+    }
   }
   std::uint32_t trailer_magic = 0;
   std::uint32_t payload_crc = 0;
   if (!GetU32(bytes, pos, trailer_magic) || !GetU32(bytes, pos, payload_crc)) {
     return IoStatus::Error(IoCode::kTruncated, "trailer truncated");
   }
-  if (trailer_magic != kTrailerMagic || payload_crc != Crc32c(assembled)) {
+  // Every block already matched its stored CRC, so combining the stored
+  // block CRCs is exactly Crc32c(assembled) — no second pass needed.
+  std::uint32_t combined = 0;
+  for (const BlockRef& ref : index) {
+    combined = Crc32cCombine(combined, ref.crc, ref.len);
+  }
+  if (trailer_magic != kTrailerMagic || payload_crc != combined) {
     return IoStatus::Error(IoCode::kTrailerCorrupt,
                            "whole-payload CRC/trailer mismatch");
   }
@@ -500,6 +714,7 @@ void FileWriter::Abort() {
 
 IoStatus ReadFileBytes(const std::string& path,
                        std::vector<std::uint8_t>& out) {
+  ScopedPhaseTimer phase(Phase::kIo);
   // The checked read primitive itself.
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
@@ -533,6 +748,7 @@ IoStatus ReadFileBytes(const std::string& path,
 
 IoStatus WriteFileAtomic(const std::string& path,
                          const std::vector<std::uint8_t>& bytes) {
+  ScopedPhaseTimer phase(Phase::kIo);
   FileWriter writer(path);
   writer.Append(bytes);
   return writer.Commit();

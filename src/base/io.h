@@ -74,7 +74,14 @@ struct IoStatus {
 };
 
 // ---------------------------------------------------------------------------
-// CRC32C (Castagnoli), software table implementation.
+// CRC32C (Castagnoli), runtime-dispatched.
+//
+// Crc32c() routes through a hardware kernel when the host has one
+// (SSE4.2 on x86, the ARMv8 CRC extension on aarch64) and falls back to
+// the table-driven software implementation otherwise. Dispatch happens
+// once per process; the hardware kernel is accepted only after it
+// reproduces the software result on a test vector (DESIGN.md §10), so a
+// miscompiled or misreported CPU feature can never change file bytes.
 
 /// CRC32C of `data`; chain blocks by passing the previous result as
 /// `seed` (the seed is pre/post-inverted internally, so Crc32c(a+b) ==
@@ -83,6 +90,26 @@ struct IoStatus {
                                    std::uint32_t seed = 0);
 [[nodiscard]] std::uint32_t Crc32c(const std::vector<std::uint8_t>& data,
                                    std::uint32_t seed = 0);
+
+/// The table-driven software path, always available. The dispatcher
+/// cross-checks the hardware kernel against this; the codec bench
+/// (bench_micro_crc32c) measures both.
+[[nodiscard]] std::uint32_t Crc32cSoftware(const std::uint8_t* data,
+                                           std::size_t len,
+                                           std::uint32_t seed = 0);
+
+/// Name of the kernel Crc32c() dispatches to: "sse4.2", "armv8-crc", or
+/// "software". Stable for the process lifetime.
+[[nodiscard]] const char* Crc32cBackend();
+
+/// CRC32C of the concatenation A||B from the two parts' CRCs alone:
+/// Crc32cCombine(Crc32c(A), Crc32c(B), B.size()) == Crc32c(A||B).
+/// O(log len_b) GF(2) matrix shifts — the parallel frame codec derives
+/// the whole-payload trailer CRC from the per-block CRCs without a second
+/// pass over the bytes.
+[[nodiscard]] std::uint32_t Crc32cCombine(std::uint32_t crc_a,
+                                          std::uint32_t crc_b,
+                                          std::uint64_t len_b);
 
 // ---------------------------------------------------------------------------
 // Checksummed framing

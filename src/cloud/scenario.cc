@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <optional>
 
+#include "base/phase.h"
 #include "base/threads.h"
 #include "capture/merge.h"
 #include "cloud/fleet.h"
@@ -80,7 +83,7 @@ class ScenarioRuntime {
   void PartitionEngines();
   void RunShard(std::size_t shard);
 
-  std::shared_ptr<const zone::Zone> BuildRootZone();
+  zone::Zone BuildRootZone();
 
   ScenarioConfig config_;
   sim::TimeUs start_ = 0;
@@ -191,7 +194,9 @@ void ScenarioRuntime::MaterializeFaults() {
   }
 }
 
-std::shared_ptr<const zone::Zone> ScenarioRuntime::BuildRootZone() {
+/// Builds the (unsigned) root zone image; signing happens with the other
+/// zones in BuildZonesAndServers' serial stage.
+zone::Zone ScenarioRuntime::BuildRootZone() {
   zone::ZoneBuildConfig config;
   config.apex = dns::Name{};
   config.negative_ttl = 86400;  // the real root zone's SOA MINIMUM
@@ -229,9 +234,7 @@ std::shared_ptr<const zone::Zone> ScenarioRuntime::BuildRootZone() {
           i % 2 == 0, /*ttl=*/172800);
     }
   }
-  auto mutable_root = std::make_shared<zone::Zone>(std::move(root));
-  zone::SignZone(*mutable_root);
-  return mutable_root;
+  return root;
 }
 
 void ScenarioRuntime::BuildZonesAndServers() {
@@ -267,10 +270,87 @@ void ScenarioRuntime::BuildZonesAndServers() {
         "2001:500:" + std::to_string(letter + 1) + "::53"));
   }
 
-  auto root_zone = BuildRootZone();
+  // --- Sizing for the ccTLD images (Table 2), needed before the parallel
+  // build stage so every task is fully parameterized up front.
+  const int yi = config_.year - 2018;
+  const double zs = config_.zone_scale;
+  const std::size_t nl_domains =
+      static_cast<std::size_t>((yi == 2 ? 5.9e6 : 5.8e6) * zs);
+  const std::size_t nl_ns = yi == 2 ? 3 : 4;  // Table 2
+  const std::size_t nz_second = static_cast<std::size_t>(140e3 * zs);
+  const std::size_t nz_third =
+      static_cast<std::size_t>((yi == 0 ? 580e3 : 570e3) * zs);
+  const std::vector<std::string> nz_subzones = {"co", "net", "org", "ac",
+                                                "govt"};
+  const std::size_t nz_per_subzone = nz_third / nz_subzones.size();
+
+  // --- Stage A: build every zone image in parallel. The tasks are
+  // independent — each writes only its own slot, reads only the
+  // already-final ns sets / root hints — and each image's record sequence
+  // is a pure function of its parameters, so the fan-out cannot change
+  // any zone's bytes (DESIGN.md §14). Signing is deliberately NOT here:
+  // one zone (the .nl apex) dominates that cost, so SignZone parallelizes
+  // internally in the serial stage below instead.
+  auto build_apex = [this](const std::string& tld, std::size_t second_level) {
+    zone::ZoneBuildConfig apex_config;
+    apex_config.apex = N(tld);
+    apex_config.nameservers = tld_ns_sets_.at(tld);
+    auto apex_zone = zone::MakeZoneSkeleton(apex_config);
+    zone::PopulateDelegations(apex_zone, second_level, "dom", 0.55,
+                              net::Ipv4Address(100, 70, 0, 0));
+    if (tld == "nz") {
+      // The Fig. 3b misconfiguration: two domains whose NS records point
+      // into each other's zones with no glue — a cyclic dependency [31]
+      // that resolvers can never break out of.
+      zone::AddDelegation(apex_zone, N("cyca.nz"), {{N("ns.cycb.nz"), {}}},
+                          false);
+      zone::AddDelegation(apex_zone, N("cycb.nz"), {{N("ns.cyca.nz"), {}}},
+                          false);
+    }
+    return apex_zone;
+  };
+  const std::size_t kRootSlot = 0;
+  const std::size_t kNlApexSlot = 1;
+  const std::size_t kNzApexSlot = 2;
+  const std::size_t kNzSubBase = 3;
+  std::vector<std::function<zone::Zone()>> builders(kNzSubBase +
+                                                    nz_subzones.size());
+  builders[kRootSlot] = [this] { return BuildRootZone(); };
+  builders[kNlApexSlot] = [&build_apex, nl_domains] {
+    return build_apex("nl", nl_domains);
+  };
+  builders[kNzApexSlot] = [&build_apex, nz_second] {
+    return build_apex("nz", nz_second);
+  };
+  for (std::size_t sub = 0; sub < nz_subzones.size(); ++sub) {
+    builders[kNzSubBase + sub] = [this, &nz_subzones, sub, nz_per_subzone] {
+      zone::ZoneBuildConfig sub_config;
+      sub_config.apex = N(nz_subzones[sub] + ".nz");
+      sub_config.nameservers = tld_ns_sets_.at("nz");
+      auto sub_zone = zone::MakeZoneSkeleton(sub_config);
+      // Glue base 100.72.0.0 + one /16 per subzone, matching the serial
+      // builder's running increment.
+      zone::PopulateDelegations(
+          sub_zone, nz_per_subzone, "dom", 0.55,
+          net::Ipv4Address(0x64480000u +
+                           static_cast<std::uint32_t>(sub) * 0x10000u));
+      return sub_zone;
+    };
+  }
+  std::vector<std::optional<zone::Zone>> images(builders.size());
+  base::ThreadPool::Shared().ParallelFor(
+      builders.size(), base::EffectiveThreads(config_.threads),
+      [&](std::size_t i) { images[i].emplace(builders[i]()); });
+
+  // --- Stage B: serial signing and assembly, in the exact order of the
+  // serial builder — zones_/service_specs_ ordering and every zone's Add
+  // sequence (skeleton, delegations, DNSKEYs, RRSIGs) are unchanged.
+  // SignZone fans its signature computation over the pool internally.
+  zone::Zone root = std::move(*images[kRootSlot]);
+  zone::SignZone(root);
+  auto root_zone = std::make_shared<const zone::Zone>(std::move(root));
   zones_.push_back(root_zone);
 
-  const int yi = config_.year - 2018;
   for (std::size_t letter = 0; letter < letters; ++letter) {
     ServiceSpec spec;
     spec.config.server_id = 100 + static_cast<std::uint32_t>(letter);
@@ -295,54 +375,25 @@ void ScenarioRuntime::BuildZonesAndServers() {
     service_specs_.push_back(std::move(spec));
   }
 
-  // --- ccTLD zones and servers.
-  auto build_cctld = [this](const std::string& tld,
-                            const std::vector<std::string>& subzones,
-                            std::size_t second_level, std::size_t third_level,
-                            std::size_t ns_total, std::size_t ns_captured,
-                            std::size_t unicast_index,
-                            const std::string& v4_stem,
-                            const std::string& v6_stem) {
-    (void)v4_stem;
-    (void)v6_stem;
+  // --- ccTLD signing, assembly, and servers.
+  auto assemble_cctld = [this](const std::string& tld, zone::Zone apex_zone,
+                               std::vector<zone::Zone> sub_zones,
+                               const std::vector<std::string>& subzones,
+                               std::size_t second_level,
+                               std::size_t per_subzone, std::size_t ns_total,
+                               std::size_t ns_captured,
+                               std::size_t unicast_index) {
     const std::vector<zone::NameserverSpec>& ns_set = tld_ns_sets_.at(tld);
-    (void)ns_total;
 
-    // Apex zone.
-    zone::ZoneBuildConfig apex_config;
-    apex_config.apex = N(tld);
-    apex_config.nameservers = ns_set;
-    auto apex_zone = zone::MakeZoneSkeleton(apex_config);
-    zone::PopulateDelegations(apex_zone, second_level, "dom", 0.55,
-                              net::Ipv4Address(100, 70, 0, 0));
-    if (tld == "nz") {
-      // The Fig. 3b misconfiguration: two domains whose NS records point
-      // into each other's zones with no glue — a cyclic dependency [31]
-      // that resolvers can never break out of.
-      zone::AddDelegation(apex_zone, N("cyca.nz"), {{N("ns.cycb.nz"), {}}},
-                          false);
-      zone::AddDelegation(apex_zone, N("cycb.nz"), {{N("ns.cyca.nz"), {}}},
-                          false);
-    }
     // Second-level registry zones (co.nz style) are delegated from the
     // apex and served by the same operator.
     std::vector<std::shared_ptr<const zone::Zone>> operator_zones;
-    std::size_t per_subzone =
-        subzones.empty() ? 0 : third_level / subzones.size();
-    std::uint32_t glue_base = 0x64480000;  // 100.72.0.0
-    for (const auto& label : subzones) {
-      zone::ZoneBuildConfig sub_config;
-      sub_config.apex = N(label + "." + tld);
-      sub_config.nameservers = ns_set;
-      auto sub_zone = zone::MakeZoneSkeleton(sub_config);
-      zone::PopulateDelegations(sub_zone, per_subzone, "dom", 0.55,
-                                net::Ipv4Address(glue_base));
-      glue_base += 0x10000;
-      zone::AddDelegation(apex_zone, sub_config.apex, ns_set,
+    for (std::size_t sub = 0; sub < subzones.size(); ++sub) {
+      zone::AddDelegation(apex_zone, N(subzones[sub] + "." + tld), ns_set,
                           /*with_ds=*/true);
-      zone::SignZone(*&sub_zone);
+      zone::SignZone(sub_zones[sub]);
       operator_zones.push_back(
-          std::make_shared<const zone::Zone>(std::move(sub_zone)));
+          std::make_shared<const zone::Zone>(std::move(sub_zones[sub])));
       zone_domain_count_ += per_subzone;
       zone_domains_by_tld_[tld] += per_subzone;
     }
@@ -386,24 +437,19 @@ void ScenarioRuntime::BuildZonesAndServers() {
     }
   };
 
-  const double zs = config_.zone_scale;
-  if (config_.vantage != Vantage::kRoot || true) {
-    // Both ccTLDs always exist (root-vantage clients also look them up);
-    // only the vantage TLD captures.
-    std::size_t nl_domains = static_cast<std::size_t>(
-        (yi == 2 ? 5.9e6 : 5.8e6) * zs);
-    std::size_t nl_ns = yi == 2 ? 3 : 4;  // Table 2
-    build_cctld("nl", {}, nl_domains, 0, nl_ns, 2, /*unicast=*/99,
-                "194.0.28.", "2001:678:2c::");
-
-    std::size_t nz_second = static_cast<std::size_t>(140e3 * zs);
-    std::size_t nz_third = static_cast<std::size_t>(
-        (yi == 0 ? 580e3 : 570e3) * zs);
-    // Table 2: 6 anycast + 1 unicast NSes; the analyzed six are five of
-    // the anycast servers plus the unicast one.
-    build_cctld("nz", {"co", "net", "org", "ac", "govt"}, nz_second,
-                nz_third, 7, 6, /*unicast=*/5, "197.0.29.", "2001:dce:2c::");
+  // Both ccTLDs always exist (root-vantage clients also look them up);
+  // only the vantage TLD captures.
+  assemble_cctld("nl", std::move(*images[kNlApexSlot]), {}, {}, nl_domains,
+                 0, nl_ns, 2, /*unicast=*/99);
+  std::vector<zone::Zone> nz_subs;
+  nz_subs.reserve(nz_subzones.size());
+  for (std::size_t sub = 0; sub < nz_subzones.size(); ++sub) {
+    nz_subs.push_back(std::move(*images[kNzSubBase + sub]));
   }
+  // Table 2: 6 anycast + 1 unicast NSes; the analyzed six are five of
+  // the anycast servers plus the unicast one.
+  assemble_cctld("nz", std::move(*images[kNzApexSlot]), std::move(nz_subs),
+                 nz_subzones, nz_second, nz_per_subzone, 7, 6, /*unicast=*/5);
 
   // Fig. 3b: two .nz domains with mutually glueless (cyclic) delegations.
   if (config_.inject_cyclic_event || config_.vantage == Vantage::kNz) {
@@ -640,12 +686,17 @@ void ScenarioRuntime::RunShard(std::size_t shard_index) {
 }
 
 ScenarioResult ScenarioRuntime::Run() {
-  BuildSites();
-  MaterializeFaults();
-  BuildZonesAndServers();
-  BuildShardWorlds();
-  BuildFleets();
-  PartitionEngines();
+  {
+    // The whole construction pipeline is the "setup" phase (bench phase
+    // accounting); the timer only observes, simulation state never reads it.
+    base::ScopedPhaseTimer setup_phase(base::Phase::kSetup);
+    BuildSites();
+    MaterializeFaults();
+    BuildZonesAndServers();
+    BuildShardWorlds();
+    BuildFleets();
+    PartitionEngines();
+  }
 
   ScenarioResult result;
   result.config = config_;

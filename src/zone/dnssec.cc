@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "base/threads.h"
+
 namespace clouddns::zone {
 namespace {
 
@@ -97,22 +99,33 @@ void SignZone(Zone& zone, std::uint32_t dnskey_ttl) {
       }
     }
   }
-  for (const auto& target : targets) {
-    dns::RrsigRdata sig;
-    sig.type_covered = static_cast<std::uint16_t>(target.type);
-    sig.algorithm = kMockAlgorithm;
-    sig.labels = static_cast<std::uint8_t>(target.owner.LabelCount());
-    sig.original_ttl = target.ttl;
-    sig.expiration = kExpiration;
-    sig.inception = kInception;
-    sig.key_tag = target.type == dns::RrType::kDnskey
-                      ? KskTagFor(zone.apex())
-                      : ZskTagFor(zone.apex());
-    sig.signer = zone.apex();
-    sig.signature = MockSignature(zone.apex(), target.owner, target.type);
-    zone.Add(dns::ResourceRecord{target.owner, dns::RrType::kRrsig,
-                                 dns::RrClass::kIn, target.ttl,
-                                 std::move(sig)});
+  // Signature computation is pure (a function of signer/owner/type alone),
+  // so it fans out over the shared pool into slots indexed by target.
+  // Insertion stays serial and in target order below — the RRSIG vector
+  // order at each owner/type IS the Add order, and that order is part of
+  // the zone's byte image, so it must not depend on worker scheduling.
+  std::vector<dns::RrsigRdata> sigs(targets.size());
+  base::ThreadPool::Shared().ParallelFor(
+      targets.size(), base::EffectiveThreads(0), [&](std::size_t i) {
+        const Target& target = targets[i];
+        dns::RrsigRdata sig;
+        sig.type_covered = static_cast<std::uint16_t>(target.type);
+        sig.algorithm = kMockAlgorithm;
+        sig.labels = static_cast<std::uint8_t>(target.owner.LabelCount());
+        sig.original_ttl = target.ttl;
+        sig.expiration = kExpiration;
+        sig.inception = kInception;
+        sig.key_tag = target.type == dns::RrType::kDnskey
+                          ? KskTagFor(zone.apex())
+                          : ZskTagFor(zone.apex());
+        sig.signer = zone.apex();
+        sig.signature = MockSignature(zone.apex(), target.owner, target.type);
+        sigs[i] = std::move(sig);
+      });
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    zone.Add(dns::ResourceRecord{targets[i].owner, dns::RrType::kRrsig,
+                                 dns::RrClass::kIn, targets[i].ttl,
+                                 std::move(sigs[i])});
   }
 }
 

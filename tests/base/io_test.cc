@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace clouddns::base::io {
@@ -54,6 +57,55 @@ TEST(Crc32cTest, ChainsAcrossBlockBoundaries) {
   }
 }
 
+TEST(Crc32cTest, SoftwareKernelMatchesTheDispatchedOne) {
+  // The dispatcher only accepts a hardware kernel after a known-answer
+  // cross-check, so the two must agree on arbitrary data — including the
+  // odd lengths that exercise the hardware kernel's byte tail.
+  const char* backend = Crc32cBackend();
+  EXPECT_TRUE(std::string_view(backend) == "sse4.2" ||
+              std::string_view(backend) == "armv8-crc" ||
+              std::string_view(backend) == "software")
+      << backend;
+  std::vector<std::uint8_t> data(4099);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 53 + 11);
+  }
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{9}, std::size_t{4099}}) {
+    EXPECT_EQ(Crc32c(data.data(), len), Crc32cSoftware(data.data(), len))
+        << "kernels disagree at len " << len;
+  }
+  EXPECT_EQ(Crc32cSoftware(Bytes("123456789").data(), 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, CombineMatchesTheConcatenatedCrc) {
+  // The block-parallel frame trailer folds per-block CRCs with
+  // Crc32cCombine instead of re-walking the payload; the fold must land on
+  // the exact whole-payload value at every split, including the degenerate
+  // empty-prefix and empty-suffix ones.
+  std::vector<std::uint8_t> whole(3 * kFrameBlockSize + 17);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    whole[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const std::uint32_t want = Crc32c(whole);
+  for (std::size_t split :
+       {std::size_t{0}, std::size_t{1}, kFrameBlockSize - 1, kFrameBlockSize,
+        kFrameBlockSize + 1, whole.size() - 1, whole.size()}) {
+    const std::uint32_t head = Crc32c(whole.data(), split);
+    const std::uint32_t tail =
+        Crc32c(whole.data() + split, whole.size() - split);
+    EXPECT_EQ(Crc32cCombine(head, tail, whole.size() - split), want)
+        << "combine broken at split " << split;
+  }
+  // Folding block-by-block (the trailer's exact shape) also lands on it.
+  std::uint32_t folded = 0;
+  for (std::size_t off = 0; off < whole.size(); off += kFrameBlockSize) {
+    const std::size_t len = std::min(kFrameBlockSize, whole.size() - off);
+    folded = Crc32cCombine(folded, Crc32c(whole.data() + off, len), len);
+  }
+  EXPECT_EQ(folded, want);
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 
@@ -75,6 +127,44 @@ TEST(FrameTest, RoundTripsPayloadsAcrossBlockBoundaries) {
     EXPECT_TRUE(framed);
     EXPECT_EQ(tag, kTagCapture);
     EXPECT_EQ(out, payload) << "payload mangled at size " << size;
+  }
+}
+
+TEST(FrameTest, FrameBytesIdenticalAtEveryThreadCount) {
+  // The block-parallel encoder writes each block into a precomputed
+  // disjoint slice, so the emitted frame is a pure function of the payload
+  // — the worker count must never leak into the bytes.
+  const char* prev = std::getenv("CLOUDDNS_THREADS");
+  const std::string saved = prev ? prev : "";
+  for (std::size_t size :
+       {std::size_t{0}, std::size_t{1}, kFrameBlockSize, kFrameBlockSize + 1,
+        4 * kFrameBlockSize + 4099}) {
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 37 + 5);
+    }
+    std::vector<std::uint8_t> reference;
+    for (const char* threads : {"1", "2", "4", "8"}) {
+      setenv("CLOUDDNS_THREADS", threads, 1);
+      const auto framed_bytes = WrapFrame(kTagCapture, payload);
+      if (reference.empty() && std::string_view(threads) == "1") {
+        reference = framed_bytes;
+      } else {
+        EXPECT_EQ(framed_bytes, reference)
+            << "frame bytes diverge at size " << size << ", threads "
+            << threads;
+      }
+      // The parallel verifier must accept it at this worker count too.
+      std::vector<std::uint8_t> out;
+      bool framed = false;
+      ASSERT_TRUE(UnwrapFrame(framed_bytes, kTagCapture, out, framed).ok());
+      EXPECT_EQ(out, payload);
+    }
+  }
+  if (prev) {
+    setenv("CLOUDDNS_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("CLOUDDNS_THREADS");
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -90,6 +91,76 @@ TEST(StorageFramingTest, ColumnarRoundTripsFramed) {
   ASSERT_TRUE(ReadCaptureFileStatus(path, back).ok());
   EXPECT_TRUE(back == records);
   fs::remove(path);
+}
+
+TEST(StorageFramingTest, EmptyCaptureRoundTripsFramedAndLegacy) {
+  // A zero-query scenario still writes its capture artifact; the framed
+  // payload is just the columnar header, and the legacy passthrough must
+  // accept the stripped form too.
+  const std::string path = TempPath("framing_capture_empty.cdns");
+  ASSERT_TRUE(WriteCaptureFileStatus(path, CaptureBuffer{}).ok());
+  EXPECT_TRUE(StartsWithFrameMagic(path));
+
+  CaptureBuffer back = SampleBuffer(3);  // must be cleared by the read
+  ASSERT_TRUE(ReadCaptureFileStatus(path, back).ok());
+  EXPECT_TRUE(back.empty());
+
+  RewriteAsLegacy(path);
+  CaptureBuffer legacy = SampleBuffer(3);
+  ASSERT_TRUE(ReadCaptureFileStatus(path, legacy).ok());
+  EXPECT_TRUE(legacy.empty());
+  fs::remove(path);
+}
+
+TEST(StorageFramingTest, SingleRecordCaptureRoundTripsFramedAndLegacy) {
+  const std::string path = TempPath("framing_capture_single.cdns");
+  const CaptureBuffer records = SampleBuffer(1);
+  ASSERT_TRUE(WriteCaptureFileStatus(path, records).ok());
+
+  CaptureBuffer back;
+  ASSERT_TRUE(ReadCaptureFileStatus(path, back).ok());
+  EXPECT_TRUE(back == records);
+
+  RewriteAsLegacy(path);
+  CaptureBuffer legacy;
+  ASSERT_TRUE(ReadCaptureFileStatus(path, legacy).ok());
+  EXPECT_TRUE(legacy == records);
+  fs::remove(path);
+}
+
+TEST(StorageFramingTest, CaptureFileBytesIdenticalAtEveryThreadCount) {
+  // End-to-end determinism of the block-parallel write path: the bytes
+  // that land on disk for the same records must not depend on how many
+  // workers encoded the frame. 8000 records is comfortably multi-block
+  // even through the columnar encoding's delta/varint shrinkage.
+  const char* prev = std::getenv("CLOUDDNS_THREADS");
+  const std::string saved = prev ? prev : "";
+  const CaptureBuffer records = SampleBuffer(8000);
+  std::vector<std::uint8_t> reference;
+  for (const char* threads : {"1", "2", "4", "8"}) {
+    setenv("CLOUDDNS_THREADS", threads, 1);
+    const std::string path = TempPath("framing_capture_threads.cdns");
+    ASSERT_TRUE(WriteCaptureFileStatus(path, records).ok());
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(base::io::ReadFileBytes(path, bytes).ok());
+    if (reference.empty()) {
+      ASSERT_GT(bytes.size(), base::io::kFrameBlockSize)
+          << "sample too small to exercise multiple blocks";
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference)
+          << "capture bytes diverge at " << threads << " threads";
+    }
+    CaptureBuffer back;
+    ASSERT_TRUE(ReadCaptureFileStatus(path, back).ok());
+    EXPECT_TRUE(back == records);
+    fs::remove(path);
+  }
+  if (prev) {
+    setenv("CLOUDDNS_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("CLOUDDNS_THREADS");
+  }
 }
 
 TEST(StorageFramingTest, LegacyUnframedColumnarStillLoads) {
